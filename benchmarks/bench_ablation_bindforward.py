@@ -1,0 +1,108 @@
+"""Ablation C — DFS bind forwarding on vs off.
+
+Figure 7's design point: forwarding local binds to the underlying file
+means local clients share the same cached memory as direct SFS clients
+and DFS stays out of the local page path.  Turning forwarding off makes
+DFS serve local page traffic itself — an extra layer crossing per fault
+and a second copy of the data cached.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_banner
+from repro.bench.harness import TableFormatter, measure_once
+from repro.fs.dfs import DfsLayer
+from repro.fs.sfs import create_sfs
+from repro.ipc.domain import Credentials
+from repro.storage.block_device import BlockDevice
+from repro.types import PAGE_SIZE, AccessRights
+from repro.world import World
+
+
+def _run(forward: bool):
+    world = World()
+    node = world.create_node("bench")
+    stack = create_sfs(node, BlockDevice(node.nucleus, "sd0", 8192))
+    dfs = DfsLayer(
+        node.create_domain("dfs", Credentials("dfs", True)),
+        forward_local_binds=forward,
+    )
+    dfs.stack_on(stack.top)
+    user = world.create_user_domain(node)
+    with user.activate():
+        f_dfs = dfs.create_file("local.dat")
+        f_dfs.write(0, b"L" * (8 * PAGE_SIZE))
+        f_dfs.sync()
+        # A direct-SFS client already has the file cached...
+        f_sfs = stack.top.resolve("local.dat")
+        aspace = node.vmm.create_address_space("u")
+        m_sfs = aspace.map(f_sfs, AccessRights.READ_ONLY)
+        m_sfs.read(0, 8 * PAGE_SIZE)
+        # ...now a local client maps the DFS view and reads everything.
+        m_dfs = aspace.map(dfs.resolve("local.dat"), AccessRights.READ_ONLY)
+        cost = measure_once(
+            world, "sweep", lambda: m_dfs.read(0, 8 * PAGE_SIZE)
+        )
+    return {
+        "cost_us": cost.mean_us,
+        "shared_cache": m_dfs.cache is m_sfs.cache,
+        "vmm_caches": len(node.vmm.live_caches()),
+        "dfs_page_ins": world.counters.get("dfs.page_in"),
+    }
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    results = {True: _run(True), False: _run(False)}
+    table = TableFormatter(
+        "Ablation C: DFS local bind forwarding",
+        ["local 8-page sweep", "shared cache?", "VMM caches", "DFS page-ins"],
+    )
+    for forward, data in results.items():
+        table.add_row(
+            "forwarding on" if forward else "forwarding off",
+            [
+                data["cost_us"],
+                str(data["shared_cache"]),
+                data["vmm_caches"],
+                data["dfs_page_ins"],
+            ],
+        )
+    print_banner("Ablation: bind forwarding", table.render())
+    return results
+
+
+class TestBindForwardAblation:
+    def test_forwarding_shares_the_cache(self, ablation):
+        assert ablation[True]["shared_cache"]
+        assert not ablation[False]["shared_cache"]
+
+    def test_forwarding_keeps_dfs_out_of_page_path(self, ablation):
+        assert ablation[True]["dfs_page_ins"] == 0
+        assert ablation[False]["dfs_page_ins"] > 0
+
+    def test_forwarding_is_faster_for_local_access(self, ablation):
+        """With forwarding the data is already in the shared cache; the
+        sweep is pure cache hits.  Without it, every page re-faults
+        through DFS."""
+        assert ablation[True]["cost_us"] < ablation[False]["cost_us"]
+
+    def test_forwarding_avoids_double_caching(self, ablation):
+        assert ablation[True]["vmm_caches"] < ablation[False]["vmm_caches"]
+
+
+def test_bench_forwarded_local_read(benchmark, ablation):
+    world = World()
+    node = world.create_node("bench")
+    stack = create_sfs(node, BlockDevice(node.nucleus, "sd0", 8192))
+    dfs = DfsLayer(node.create_domain("dfs", Credentials("dfs", True)))
+    dfs.stack_on(stack.top)
+    user = world.create_user_domain(node)
+    with user.activate():
+        f = dfs.create_file("x.dat")
+        f.write(0, b"x" * PAGE_SIZE)
+        mapping = node.vmm.create_address_space("u").map(
+            dfs.resolve("x.dat"), AccessRights.READ_ONLY
+        )
+        mapping.read(0, 16)
+        benchmark(lambda: mapping.read(0, PAGE_SIZE))

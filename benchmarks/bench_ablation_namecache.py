@@ -1,0 +1,87 @@
+"""Ablation A — name caching (paper sec. 6.4, future work; implemented).
+
+"If the open overhead caused by splitting file system layers across
+domains turns out to be significant for some applications, name caching
+can be used to eliminate the overhead."
+
+Measured: open cost per placement, with and without a client-side name
+cache.  With the cache every placement's repeat-open collapses to the
+same (small) hit cost — the cross-domain stacking overhead is gone.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_banner
+from repro.bench.harness import TableFormatter, measure
+from repro.fs.sfs import PLACEMENTS, create_sfs
+from repro.naming.cache import NameCache
+from repro.storage.block_device import BlockDevice
+from repro.types import PAGE_SIZE
+from repro.world import World
+
+
+def _setup(placement):
+    world = World()
+    node = world.create_node("bench")
+    stack = create_sfs(node, BlockDevice(node.nucleus, "sd0", 8192),
+                       placement=placement)
+    user = world.create_user_domain(node)
+    with user.activate():
+        f = stack.top.create_file("bench.dat")
+        f.write(0, b"b" * PAGE_SIZE)
+    return world, stack, user
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    rows = {}
+    for placement in PLACEMENTS:
+        world, stack, user = _setup(placement)
+        with user.activate():
+            stack.top.resolve("bench.dat")
+            plain = measure(
+                world, "open", lambda: stack.top.resolve("bench.dat"), 30, 3
+            )
+        cache = NameCache(world)
+        with user.activate():
+            cache.resolve(stack.top, "bench.dat")
+            cached = measure(
+                world,
+                "open+namecache",
+                lambda: cache.resolve(stack.top, "bench.dat"),
+                30,
+                3,
+            )
+        rows[placement] = (plain.mean_us, cached.mean_us)
+
+    table = TableFormatter(
+        "Ablation A: open cost with/without name caching",
+        ["no name cache", "with name cache"],
+    )
+    for placement, (plain_us, cached_us) in rows.items():
+        table.add_row(placement, [plain_us, cached_us])
+    print_banner("Ablation: name caching", table.render())
+    return rows
+
+
+class TestNameCacheAblation:
+    def test_without_cache_placement_matters(self, ablation):
+        assert ablation["two_domains"][0] > ablation["not_stacked"][0] * 1.8
+
+    def test_with_cache_overhead_eliminated(self, ablation):
+        """All placements collapse to the same hit cost."""
+        hits = [ablation[p][1] for p in PLACEMENTS]
+        assert max(hits) == min(hits)
+
+    def test_cache_hit_much_cheaper_than_any_open(self, ablation):
+        for placement in PLACEMENTS:
+            plain, cached = ablation[placement]
+            assert cached < plain / 10
+
+
+def test_bench_namecache_hit(benchmark, ablation):
+    world, stack, user = _setup("two_domains")
+    cache = NameCache(world)
+    with user.activate():
+        cache.resolve(stack.top, "bench.dat")
+        benchmark(lambda: cache.resolve(stack.top, "bench.dat"))

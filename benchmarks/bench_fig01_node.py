@@ -1,0 +1,49 @@
+"""Figure 1 — major system components of a Spring node.
+
+Regenerates the figure's content as data: the domains running on a
+booted node (nucleus+VMM, naming server, file servers, fs creators) and
+the well-known contexts of the name space.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_banner
+from repro.bench.figures import fig01_node_structure
+
+
+@pytest.fixture(scope="module")
+def fig01():
+    result = fig01_node_structure()
+    body = "\n".join(f"{key}: {value}" for key, value in result.items())
+    print_banner("Figure 1: Spring node structure", body)
+    return result
+
+
+class TestFig01Shape:
+    def test_vmm_lives_in_nucleus(self, fig01):
+        assert fig01["vmm_in_nucleus"]
+
+    def test_fs_servers_are_separate_domains(self, fig01):
+        assert "sfs-disk" in fig01["domains"]
+        assert "sfs-coherency" in fig01["domains"]
+        assert "naming" in fig01["domains"]
+
+    def test_well_known_contexts(self, fig01):
+        assert set(fig01["root_contexts"]) >= {"fs", "fs_creators", "dev"}
+
+    def test_creators_registered(self, fig01):
+        assert "dfs_creator" in fig01["fs_creators"]
+        assert "compfs_creator" in fig01["fs_creators"]
+
+
+def test_bench_node_boot(benchmark, fig01):
+    from repro.world import World
+
+    counter = [0]
+
+    def boot():
+        counter[0] += 1
+        world = World()
+        world.create_node(f"n{counter[0]}")
+
+    benchmark(boot)

@@ -1,0 +1,55 @@
+"""Figure 2 — pager-cache object channel topology.
+
+"Pager 1 is the pager for two distinct memory objects cached by VMM 1,
+so there are two pager-cache object connections... Pager 2 is the pager
+for a single memory object cached at both VMM 1 and VMM 2, so there is a
+pager-cache object connection between Pager 2 and each of the VMMs."
+"""
+
+import pytest
+
+from benchmarks.conftest import print_banner
+from repro.bench.figures import fig02_pager_cache_channels
+
+
+@pytest.fixture(scope="module")
+def fig02():
+    result = fig02_pager_cache_channels()
+    body = "\n".join(f"{key}: {value}" for key, value in result.items())
+    print_banner("Figure 2: pager-cache channels", body)
+    return result
+
+
+class TestFig02Shape:
+    def test_pager1_has_two_channels_to_vmm1(self, fig02):
+        assert fig02["pager1_channels_to_vmm1"] == 2
+
+    def test_pager2_has_one_channel_per_vmm(self, fig02):
+        assert fig02["pager2_channels"] == 2
+
+    def test_vmm2_caches_only_the_shared_object(self, fig02):
+        assert fig02["vmm2_caches"] == 1
+
+
+def test_bench_channel_setup(benchmark, fig02):
+    """Cost of one full map (bind + channel exchange + first fault)."""
+    from repro.fs.sfs import create_sfs
+    from repro.storage.block_device import BlockDevice
+    from repro.types import PAGE_SIZE, AccessRights
+    from repro.world import World
+
+    world = World()
+    node = world.create_node("b")
+    stack = create_sfs(node, BlockDevice(node.nucleus, "sd0", 8192))
+    user = world.create_user_domain(node)
+    with user.activate():
+        f = stack.top.create_file("m.dat")
+        f.write(0, b"m" * PAGE_SIZE)
+        aspace = node.vmm.create_address_space("b")
+
+        def map_and_touch():
+            mapping = aspace.map(f, AccessRights.READ_ONLY)
+            mapping.read(0, 8)
+            aspace.unmap(mapping)
+
+        benchmark(map_and_touch)

@@ -1,0 +1,65 @@
+"""Figure 4 — file systems as pagers AND cache managers.
+
+"fs1 acts as a pager to VMM through the P1 pager object... fs1 acts as a
+cache manager to fs2 through the C3 cache object."  The coherency layer
+of SFS plays both roles simultaneously; this bench verifies the object
+topology and measures the dual-role data path.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_banner
+from repro.bench.figures import fig04_dual_role
+
+
+@pytest.fixture(scope="module")
+def fig04():
+    result = fig04_dual_role()
+    body = "\n".join(f"{key}: {value}" for key, value in result.items())
+    print_banner("Figure 4: dual pager/cache-manager role", body)
+    return result
+
+
+class TestFig04Shape:
+    def test_pager_role_upward(self, fig04):
+        assert fig04["acts_as_pager_to_vmm"]
+
+    def test_cache_manager_role_downward(self, fig04):
+        assert fig04["acts_as_cache_manager_below"]
+
+    def test_vmm_is_plain_cache_manager(self, fig04):
+        """The narrow-to-fs_cache fails for the VMM (paper sec. 4.3)."""
+        assert fig04["up_cache_is_plain_cache"]
+
+    def test_disk_layer_is_fs_pager(self, fig04):
+        assert fig04["down_pager_is_fs_pager"]
+
+
+def test_bench_cold_fault_through_both_roles(benchmark, fig04):
+    """One VMM fault that misses the coherency layer's cache: pager role
+    up, cache-manager role down, disk at the bottom."""
+    from repro.fs.sfs import create_sfs
+    from repro.storage.block_device import RamDevice
+    from repro.types import PAGE_SIZE, AccessRights
+    from repro.world import World
+
+    world = World()
+    node = world.create_node("b")
+    stack = create_sfs(node, RamDevice(node.nucleus, "ram0", 8192))
+    user = world.create_user_domain(node)
+    with user.activate():
+        f = stack.top.create_file("m.dat")
+        f.write(0, b"m" * (16 * PAGE_SIZE))
+        f.sync()
+        mapping = node.vmm.create_address_space("b").map(
+            f, AccessRights.READ_ONLY
+        )
+        coherency_state = next(iter(stack.coherency_layer._states.values()))
+
+        def cold_fault():
+            # Evict everywhere so the fault goes down both channels.
+            mapping.cache.store.clear()
+            coherency_state.store.clear()
+            return mapping.read(0, 8)
+
+        benchmark(cold_fault)

@@ -1,0 +1,53 @@
+"""Figure 5 — COMPFS stacked on SFS, case 1 (no coherency channel).
+
+The paper's warning made observable: "if a client writes directly into
+file_COMP the corresponding changes may not be reflected into file_SFS
+until some time later, or they may be clobbered by direct writes to
+file_SFS" — without the C3-P3 connection, a COMPFS client reads STALE
+data after a direct write to the underlying file.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_banner
+from repro.bench.figures import fig05_compfs_case1
+
+
+@pytest.fixture(scope="module")
+def fig05():
+    result = fig05_compfs_case1()
+    body = "\n".join(f"{key}: {value}" for key, value in result.items())
+    print_banner("Figure 5: COMPFS case 1 (not coherent)", body)
+    return result
+
+
+class TestFig05Shape:
+    def test_data_really_compressed(self, fig05):
+        assert fig05["stored_is_compressed"]
+        assert fig05["stored_bytes"] < fig05["plain_bytes"]
+
+    def test_direct_write_not_observed(self, fig05):
+        """The defining (mis)behaviour of case 1."""
+        assert not fig05["compfs_sees_direct_write"]
+
+    def test_no_coherency_traffic(self, fig05):
+        assert fig05["flush_events_at_compfs"] == 0
+
+
+def test_bench_compfs_cached_read(benchmark, fig05):
+    from repro.fs.compfs import CompFs
+    from repro.fs.sfs import create_sfs
+    from repro.ipc.domain import Credentials
+    from repro.storage.block_device import RamDevice
+    from repro.world import World
+
+    world = World()
+    node = world.create_node("b")
+    stack = create_sfs(node, RamDevice(node.nucleus, "ram0", 8192))
+    compfs = CompFs(node.create_domain("cz", Credentials("c", True)), coherent=False)
+    compfs.stack_on(stack.top)
+    user = world.create_user_domain(node)
+    with user.activate():
+        f = compfs.create_file("r.dat")
+        f.write(0, b"compressible " * 500)
+        benchmark(lambda: f.read(0, 4096))

@@ -1,0 +1,53 @@
+"""Figure 6 — COMPFS stacked on SFS, case 2 (C3-P3 coherency channel).
+
+"COMPFS acts as a cache manager to SFS by establishing a P3-C3
+connection... Mappings of file_SFS and file_COMP are coherent with
+respect to each other."
+"""
+
+import pytest
+
+from benchmarks.conftest import print_banner
+from repro.bench.figures import fig06_compfs_case2
+
+
+@pytest.fixture(scope="module")
+def fig06():
+    result = fig06_compfs_case2()
+    body = "\n".join(f"{key}: {value}" for key, value in result.items())
+    print_banner("Figure 6: COMPFS case 2 (coherent)", body)
+    return result
+
+
+class TestFig06Shape:
+    def test_direct_write_observed(self, fig06):
+        """The defining behaviour of case 2 — contrast with Figure 5."""
+        assert fig06["compfs_sees_direct_write"]
+
+    def test_coherency_actions_reached_compfs(self, fig06):
+        assert fig06["flush_events_at_compfs"] >= 1
+
+    def test_compression_unaffected_by_coherence(self, fig06):
+        assert fig06["stored_is_compressed"]
+        assert fig06["stored_bytes"] < fig06["plain_bytes"]
+
+
+def test_bench_compfs_coherent_write(benchmark, fig06):
+    """Case-2 writes pay compression + write-through — the price of
+    coherence, measured."""
+    from repro.fs.compfs import CompFs
+    from repro.fs.sfs import create_sfs
+    from repro.ipc.domain import Credentials
+    from repro.storage.block_device import RamDevice
+    from repro.world import World
+
+    world = World()
+    node = world.create_node("b")
+    stack = create_sfs(node, RamDevice(node.nucleus, "ram0", 8192))
+    compfs = CompFs(node.create_domain("cz", Credentials("c", True)), coherent=True)
+    compfs.stack_on(stack.top)
+    user = world.create_user_domain(node)
+    with user.activate():
+        f = compfs.create_file("w.dat")
+        f.write(0, b"seed " * 200)
+        benchmark(lambda: f.write(0, b"updated data"))

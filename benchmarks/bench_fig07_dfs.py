@@ -1,0 +1,61 @@
+"""Figure 7 — DFS stacked on SFS.
+
+Local binds are forwarded (local clients share the underlying cache and
+DFS is out of the local page path); remote clients go through DFS, which
+keeps everything coherent via its P2-C2 cache-manager channel to SFS.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_banner
+from repro.bench.figures import fig07_dfs
+
+
+@pytest.fixture(scope="module")
+def fig07():
+    result = fig07_dfs()
+    body = "\n".join(f"{key}: {value}" for key, value in result.items())
+    print_banner("Figure 7: DFS on SFS", body)
+    return result
+
+
+class TestFig07Shape:
+    def test_local_binds_forwarded(self, fig07):
+        assert fig07["binds_forwarded"] >= 1
+
+    def test_local_page_path_bypasses_dfs(self, fig07):
+        assert fig07["local_channel_bypasses_dfs"]
+
+    def test_remote_reads_correct(self, fig07):
+        assert fig07["remote_read_matches"]
+
+    def test_local_sees_remote_write(self, fig07):
+        """The coherency fan-out across the network actually ran."""
+        assert fig07["local_sees_remote_write"]
+        assert fig07["network_messages"] > 0
+
+    def test_remote_binds_served_by_dfs(self, fig07):
+        assert fig07["dfs_served_binds"] >= 1
+
+
+def test_bench_remote_4k_read(benchmark, fig07):
+    """Network-bound remote read through the DFS protocol."""
+    from repro.fs.dfs import export_dfs, mount_remote
+    from repro.fs.sfs import create_sfs
+    from repro.storage.block_device import RamDevice
+    from repro.types import PAGE_SIZE
+    from repro.world import World
+
+    world = World()
+    server = world.create_node("server")
+    client = world.create_node("client")
+    stack = create_sfs(server, RamDevice(server.nucleus, "ram0", 8192))
+    dfs = export_dfs(server, stack.top)
+    mount_remote(client, server, "dfs")
+    su = world.create_user_domain(server, "su")
+    cu = world.create_user_domain(client, "cu")
+    with su.activate():
+        dfs.create_file("r.dat").write(0, b"r" * PAGE_SIZE)
+    with cu.activate():
+        rf = client.fs_context.resolve("dfs@server").resolve("r.dat")
+        benchmark(lambda: rf.read(0, PAGE_SIZE))

@@ -1,0 +1,44 @@
+"""Figure 8 — the file system interface hierarchy.
+
+fs + naming_context -> stackable_fs; file inherits memory_object; the
+fs_cache/fs_pager narrowing protocol of sec. 4.3 behaves as specified
+(VMM cache objects do NOT narrow; file-system objects do).
+"""
+
+import pytest
+
+from benchmarks.conftest import print_banner
+from repro.bench.figures import fig08_interface_hierarchy
+
+
+@pytest.fixture(scope="module")
+def fig08():
+    result = fig08_interface_hierarchy()
+    body = "\n".join(f"{key}: {value}" for key, value in result.items())
+    print_banner("Figure 8: interface hierarchy", body)
+    return result
+
+
+class TestFig08Shape:
+    def test_stackable_fs_is_both(self, fig08):
+        assert fig08["stackable_fs_is_fs"]
+        assert fig08["stackable_fs_is_naming_context"]
+
+    def test_file_is_memory_object(self, fig08):
+        assert fig08["file_is_memory_object"]
+
+    def test_narrowing_protocol(self, fig08):
+        assert fig08["vmm_cache_is_plain_cache"]
+        assert fig08["disk_pager_narrows_to_fs_pager"]
+        assert fig08["coherency_cache_obj_is_fs_cache"]
+
+
+def test_bench_narrow(benchmark, fig08):
+    from repro.ipc.narrow import narrow
+    from repro.naming.context import MemoryContext, NamingContext
+    from repro.world import World
+
+    world = World()
+    node = world.create_node("b")
+    ctx = MemoryContext(node.nucleus)
+    benchmark(lambda: narrow(ctx, NamingContext))

@@ -1,0 +1,74 @@
+"""Figure 9 / sec. 4.5 — DFS on COMPFS on SFS, end to end.
+
+The full walkthrough: creators looked up in /fs_creators, instances
+created and stack_on'd, the stack exported, and a remote read that flows
+DFS -> COMPFS (uncompress) -> SFS -> disk, coherent at every level.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_banner
+from repro.bench.figures import fig09_full_stack
+
+
+@pytest.fixture(scope="module")
+def fig09():
+    result = fig09_full_stack()
+    body = result["layer_order"] + "\n" + "\n".join(
+        f"{key}: {value}"
+        for key, value in result.items()
+        if key not in ("layer_order",)
+    )
+    print_banner("Figure 9: DFS on COMPFS on SFS", body)
+    return result
+
+
+class TestFig09Shape:
+    def test_remote_read_correct(self, fig09):
+        assert fig09["remote_read_correct"]
+
+    def test_three_layer_stack_plus_disk(self, fig09):
+        assert fig09["depth"] == 4  # dfs, compfs, coherency, disk
+
+    def test_compression_active_under_distribution(self, fig09):
+        assert fig09["stored_bytes"] < fig09["plain_bytes"]
+
+    def test_read_flowed_through_the_layers(self, fig09):
+        traffic = fig09["remote_read_traffic"]
+        # One network hop in (resolve was earlier), then the read is
+        # forwarded layer to layer: DFS -> COMPFS -> SFS -> disk.
+        assert traffic.get("invoke.network", 0) >= 1
+        assert traffic.get("invoke.cross_domain", 0) >= 3
+        assert traffic.get("op.read", 0) >= 2
+
+
+def test_bench_full_stack_remote_read(benchmark, fig09):
+    from repro.fs.creators import (
+        LayerSpec,
+        build_stack,
+        register_standard_creators,
+    )
+    from repro.fs.dfs import mount_remote
+    from repro.fs.sfs import create_sfs
+    from repro.storage.block_device import RamDevice
+    from repro.world import World
+
+    world = World()
+    server = world.create_node("server")
+    client = world.create_node("client")
+    register_standard_creators(server)
+    sfs = create_sfs(server, RamDevice(server.nucleus, "ram0", 8192))
+    compfs, dfs = build_stack(
+        server, sfs.top, [LayerSpec("compfs"), LayerSpec("dfs")],
+        export_as="stacked",
+    )
+    mount_remote(client, server, "stacked")
+    su = world.create_user_domain(server, "su")
+    cu = world.create_user_domain(client, "cu")
+    with su.activate():
+        f = dfs.create_file("b.dat")
+        f.write(0, b"benchmark " * 400)
+        f.sync()
+    with cu.activate():
+        rf = client.fs_context.resolve("stacked@server").resolve("b.dat")
+        benchmark(lambda: rf.read(0, 4000))

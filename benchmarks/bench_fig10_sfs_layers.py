@@ -1,0 +1,56 @@
+"""Figure 10 — Spring SFS structure.
+
+"The Spring storage file system is actually implemented using two
+layers": an on-disk (non-coherent) disk layer and a coherency layer
+stacked on it, each in its own address space, with all files exported
+via the coherency layer.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_banner
+from repro.bench.figures import fig10_sfs_structure
+
+
+@pytest.fixture(scope="module")
+def fig10():
+    result = fig10_sfs_structure()
+    body = result["diagram"] + "\n" + "\n".join(
+        f"{key}: {value}" for key, value in result.items() if key != "diagram"
+    )
+    print_banner("Figure 10: Spring SFS structure", body)
+    return result
+
+
+class TestFig10Shape:
+    def test_two_layers(self, fig10):
+        assert fig10["layers"] == ["coherency", "disk"]
+
+    def test_separate_address_spaces(self, fig10):
+        """So the disk layer can be locked in physical memory while the
+        coherency layer's larger state stays pageable."""
+        assert fig10["separate_domains"]
+        assert len(fig10["domains"]) == 2
+
+    def test_all_files_exported_via_coherency_layer(self, fig10):
+        assert fig10["exported_is_coherency_layer"]
+
+
+def test_bench_layered_vs_library_read(benchmark, fig10):
+    """Sec. 6.2's note: structuring coherency as a layer performs
+    comparably to a library — a cached read never crosses to the disk
+    layer, so layer placement costs nothing (see Table 2)."""
+    from repro.fs.sfs import create_sfs
+    from repro.storage.block_device import RamDevice
+    from repro.types import PAGE_SIZE
+    from repro.world import World
+
+    world = World()
+    node = world.create_node("b")
+    stack = create_sfs(node, RamDevice(node.nucleus, "ram0", 8192))
+    user = world.create_user_domain(node)
+    with user.activate():
+        f = stack.top.create_file("r.dat")
+        f.write(0, b"r" * PAGE_SIZE)
+        f.read(0, PAGE_SIZE)
+        benchmark(lambda: f.read(0, PAGE_SIZE))

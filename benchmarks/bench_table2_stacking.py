@@ -1,0 +1,81 @@
+"""Table 2 — Spring SFS stacking overhead.
+
+Reproduces the paper's central table: open / 4KB read / 4KB write / stat
+across {not stacked, stacked one domain, stacked two domains}, cached
+and uncached, normalized to the non-stacked implementation.
+
+Paper shape: open +39% (one domain) / +101% (two domains); cached
+read/write/stat 100% everywhere; uncached rows disk-bound (overhead
+insignificant); cached 4KB write 0.16 ms; uncached 13.7 ms.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_banner
+from repro.bench.table2 import PLACEMENTS, run_table2
+from repro.types import PAGE_SIZE
+
+
+@pytest.fixture(scope="module")
+def table2():
+    result = run_table2(iterations=30, runs=3)
+    print_banner("Table 2: Spring SFS performance", result.render())
+    return result
+
+
+class TestTable2Shape:
+    def test_open_overhead_one_domain(self, table2):
+        pct = table2.normalized_pct("open", True, "one_domain")
+        assert 130 <= pct <= 148, f"paper: 139%, measured {pct:.1f}%"
+
+    def test_open_overhead_two_domains(self, table2):
+        pct = table2.normalized_pct("open", True, "two_domains")
+        assert 190 <= pct <= 212, f"paper: 201%, measured {pct:.1f}%"
+
+    @pytest.mark.parametrize("op", ["4KB read", "4KB write", "stat"])
+    @pytest.mark.parametrize("placement", ["one_domain", "two_domains"])
+    def test_cached_ops_no_measurable_overhead(self, table2, op, placement):
+        pct = table2.normalized_pct(op, True, placement)
+        assert pct == pytest.approx(100.0, abs=2.0)
+
+    @pytest.mark.parametrize("op", ["4KB read", "4KB write"])
+    def test_uncached_ops_disk_bound(self, table2, op):
+        """'The disk overhead is much higher than the cross domain call
+        overhead' — stacking adds <5% when every op hits the disk."""
+        for placement in ("one_domain", "two_domains"):
+            pct = table2.normalized_pct(op, False, placement)
+            assert pct <= 105.0
+
+    def test_cached_write_absolute_anchor(self, table2):
+        mean = table2.mean_us("4KB write", True, "not_stacked")
+        assert mean == pytest.approx(160.0, abs=10)  # paper: 0.16 ms
+
+    def test_uncached_write_absolute_anchor(self, table2):
+        mean = table2.mean_us("4KB write", False, "not_stacked")
+        assert mean == pytest.approx(13_700, rel=0.05)  # paper: 13.7 ms
+
+
+class TestSimulatorCost:
+    """Wall-clock cost of the simulated operations (pytest-benchmark).
+    These take the table2 fixture so the reproduced table prints even
+    under --benchmark-only."""
+
+    def test_bench_cached_read(self, benchmark, table2):
+        from repro.bench.table2 import _setup
+
+        world, stack, user = _setup("two_domains", cache=True)
+        with user.activate():
+            handle = stack.top.resolve("bench.dat")
+            handle.read(0, PAGE_SIZE)
+
+            def op():
+                return handle.read(0, PAGE_SIZE)
+
+            benchmark(op)
+
+    def test_bench_open(self, benchmark, table2):
+        from repro.bench.table2 import _setup
+
+        world, stack, user = _setup("two_domains", cache=True)
+        with user.activate():
+            benchmark(lambda: stack.top.resolve("bench.dat"))

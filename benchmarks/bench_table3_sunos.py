@@ -1,0 +1,50 @@
+"""Table 3 — SunOS 4.1.3 baseline and the Spring/SunOS comparison.
+
+Paper values: open 127 us, 4KB read 82 us, 4KB write 86 us, fstat 28 us;
+"Spring is from 2 to 7 times slower than SunOS".
+"""
+
+import pytest
+
+from benchmarks.conftest import print_banner
+from repro.bench.table3 import PAPER_SUNOS_US, run_table3
+from repro.types import PAGE_SIZE
+
+
+@pytest.fixture(scope="module")
+def table3():
+    result = run_table3(iterations=30, runs=3)
+    print_banner("Table 3: SunOS 4.1.3 vs Spring", result.render())
+    return result
+
+
+class TestTable3Shape:
+    @pytest.mark.parametrize("op", list(PAPER_SUNOS_US))
+    def test_sunos_absolute_values(self, table3, op):
+        assert table3.sunos[op].mean_us == pytest.approx(
+            PAPER_SUNOS_US[op], rel=0.02
+        )
+
+    @pytest.mark.parametrize("op", list(PAPER_SUNOS_US))
+    def test_spring_2_to_7_times_slower(self, table3, op):
+        assert 1.8 <= table3.ratio(op) <= 7.5
+
+    def test_stat_is_worst_ratio(self, table3):
+        """fstat has the largest SunOS advantage (28 us vs Spring's
+        attribute copy + crossing) — the '7x' end of the bracket."""
+        ratios = {op: table3.ratio(op) for op in PAPER_SUNOS_US}
+        assert max(ratios, key=ratios.get) == "fstat"
+
+
+class TestSimulatorCost:
+    def test_bench_sunos_read(self, benchmark, table3):
+        from repro.baseline.sunos import SunOsFs
+        from repro.storage.block_device import BlockDevice
+        from repro.world import World
+
+        world = World()
+        node = world.create_node("b")
+        fs = SunOsFs(world, BlockDevice(node.nucleus, "sd0", 4096))
+        fd = fs.open("f.dat", create=True)
+        fs.pwrite(fd, b"x" * PAGE_SIZE, 0)
+        benchmark(lambda: fs.pread(fd, PAGE_SIZE, 0))

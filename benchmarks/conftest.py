@@ -1,0 +1,16 @@
+"""Shared benchmark configuration.
+
+Each benchmark file reproduces one table or figure of the paper:
+
+* the printed output (``-s`` or captured in the report) is the
+  reproduced table/series in virtual time — the paper's actual claim;
+* the pytest-benchmark timings measure the *simulator's* wall-clock
+  cost, which is reported for completeness but is not a paper claim.
+"""
+
+import pytest
+
+
+def print_banner(title: str, body: str) -> None:
+    line = "#" * max(len(title) + 4, 40)
+    print(f"\n{line}\n# {title}\n{line}\n{body}\n")

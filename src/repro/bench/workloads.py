@@ -1,0 +1,106 @@
+"""Deterministic workload generators for benchmarks and stress tests."""
+
+from __future__ import annotations
+
+import random
+import string
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.types import PAGE_SIZE
+
+
+def compressible_bytes(size: int, seed: int = 0, ratio_hint: float = 0.25) -> bytes:
+    """Data that zlib compresses to roughly ``ratio_hint`` of its size:
+    repeated dictionary words with occasional random salt.  Deterministic
+    per seed."""
+    rng = random.Random(seed)
+    words = [
+        b"spring", b"pager", b"cache", b"object", b"domain", b"coherency",
+        b"stackable", b"naming", b"memory", b"layer",
+    ]
+    out = bytearray()
+    while len(out) < size:
+        if rng.random() < ratio_hint:
+            out += bytes(rng.getrandbits(8) for _ in range(8))
+        else:
+            out += rng.choice(words) + b" "
+    return bytes(out[:size])
+
+
+def incompressible_bytes(size: int, seed: int = 0) -> bytes:
+    """Pseudo-random data that does not compress."""
+    rng = random.Random(seed)
+    return bytes(rng.getrandbits(8) for _ in range(size))
+
+
+def pattern_bytes(size: int, tag: int = 0) -> bytes:
+    """Self-describing pattern: byte i of file `tag` is a function of
+    (tag, i), so any misplaced block is detectable."""
+    block = bytes((tag * 7 + i * 13) % 256 for i in range(256))
+    reps = size // 256 + 1
+    return (block * reps)[:size]
+
+
+def file_names(count: int, prefix: str = "f", seed: int = 0) -> List[str]:
+    rng = random.Random(seed)
+    suffixes = ["dat", "txt", "log", "idx", "tmp"]
+    return [
+        f"{prefix}{i:04d}.{rng.choice(suffixes)}"
+        for i in range(count)
+    ]
+
+
+def sequential_ranges(
+    file_size: int, io_size: int = PAGE_SIZE
+) -> Iterator[Tuple[int, int]]:
+    """(offset, size) pairs sweeping a file front to back."""
+    offset = 0
+    while offset < file_size:
+        yield offset, min(io_size, file_size - offset)
+        offset += io_size
+
+
+def random_ranges(
+    file_size: int, count: int, io_size: int = PAGE_SIZE, seed: int = 0
+) -> Iterator[Tuple[int, int]]:
+    """``count`` random page-aligned (offset, size) pairs."""
+    rng = random.Random(seed)
+    pages = max(1, file_size // io_size)
+    for _ in range(count):
+        page = rng.randrange(pages)
+        yield page * io_size, io_size
+
+
+def hot_cold_accesses(
+    files: Sequence[str], count: int, hot_fraction: float = 0.1,
+    hot_weight: float = 0.9, seed: int = 0,
+) -> Iterator[str]:
+    """Skewed file-access stream: ``hot_weight`` of accesses hit the
+    ``hot_fraction`` hottest files (a classic FS-workload skew)."""
+    rng = random.Random(seed)
+    split = max(1, int(len(files) * hot_fraction))
+    hot, cold = list(files[:split]), list(files[split:]) or list(files[:split])
+    for _ in range(count):
+        pool = hot if rng.random() < hot_weight else cold
+        yield rng.choice(pool)
+
+
+def build_tree_spec(
+    depth: int, fanout: int, files_per_dir: int, seed: int = 0
+) -> List[Tuple[str, str]]:
+    """A directory-tree description: list of ('dir'|'file', path)."""
+    rng = random.Random(seed)
+    spec: List[Tuple[str, str]] = []
+
+    def walk(prefix: str, level: int) -> None:
+        for i in range(files_per_dir):
+            spec.append(("file", f"{prefix}file{i}.dat"))
+        if level >= depth:
+            return
+        for d in range(fanout):
+            sub = f"{prefix}dir{level}_{d}/"
+            spec.append(("dir", sub.rstrip("/")))
+            walk(sub, level + 1)
+
+    walk("", 0)
+    return spec

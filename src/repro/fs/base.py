@@ -1,0 +1,348 @@
+"""Common machinery for stackable file system layers.
+
+Every layer needs the same plumbing the paper describes once and uses
+everywhere:
+
+* the pager-side bind handshake with channel reuse (sec. 3.3.2),
+  via :class:`repro.vm.pager_base.ChannelRegistry`;
+* a pager object per (file, cache manager) channel that exports the
+  ``fs_pager`` interface and delegates to the layer
+  (:class:`LayerPagerObject`);
+* for layers that also act as cache managers to a lower layer, an
+  ``fs_cache`` object per downstream channel (:class:`LayerFsCache`) and
+  the ``accept_channel`` side of the handshake;
+* ``stack_on`` bookkeeping with type/narrowing checks (sec. 4.4).
+
+Concrete layers (disk, coherency, COMPFS, DFS, ...) subclass
+:class:`BaseLayer` and implement the ``_pager_*`` / ``_cache_*`` hooks.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.errors import StackingError
+from repro.ipc.invocation import operation
+from repro.ipc.narrow import narrow
+from repro.types import AccessRights
+from repro.vm.cache_object import FsCache
+from repro.vm.channel import BindResult, CacheRights, Channel
+from repro.vm.memory_object import CacheManager
+from repro.vm.pager_object import FsPager, PagerObject
+from repro.vm.pager_base import ChannelRegistry
+
+from repro.fs.attributes import FileAttributes
+from repro.fs.fs_interfaces import StackableFs
+
+
+class LayerPagerObject(FsPager):
+    """The pager's end of a channel, delegating to the owning layer.
+
+    One exists per (source file, cache manager) channel; ``source_key``
+    identifies the file inside the layer.
+    """
+
+    def __init__(self, domain, layer: "BaseLayer", source_key: Hashable) -> None:
+        super().__init__(domain)
+        self.layer = layer
+        self.source_key = source_key
+
+    @operation
+    def page_in(self, offset: int, size: int, access: AccessRights) -> bytes:
+        self.world.counters.inc(f"{self.layer.fs_type()}.page_in")
+        return self.layer._pager_page_in(self.source_key, self, offset, size, access)
+
+    @operation
+    def page_in_range(
+        self, offset: int, min_size: int, max_size: int, access: AccessRights
+    ) -> bytes:
+        self.world.counters.inc(f"{self.layer.fs_type()}.page_in_range")
+        return self.layer._pager_page_in_range(
+            self.source_key, self, offset, min_size, max_size, access
+        )
+
+    @operation
+    def page_out(self, offset: int, size: int, data: bytes) -> None:
+        self.world.counters.inc(f"{self.layer.fs_type()}.page_out")
+        self.layer._pager_page_out(self.source_key, self, offset, size, data, retain=None)
+
+    @operation
+    def write_out(self, offset: int, size: int, data: bytes) -> None:
+        self.world.counters.inc(f"{self.layer.fs_type()}.write_out")
+        self.layer._pager_page_out(
+            self.source_key, self, offset, size, data, retain=AccessRights.READ_ONLY
+        )
+
+    @operation
+    def sync(self, offset: int, size: int, data: bytes) -> None:
+        self.world.counters.inc(f"{self.layer.fs_type()}.sync_op")
+        self.layer._pager_page_out(
+            self.source_key, self, offset, size, data, retain=AccessRights.READ_WRITE
+        )
+
+    @operation
+    def done_with_pager_object(self) -> None:
+        self.layer._pager_done(self.source_key, self)
+        self.revoke()
+
+    @operation
+    def attr_page_in(self) -> FileAttributes:
+        self.world.counters.inc(f"{self.layer.fs_type()}.attr_page_in")
+        return self.layer._pager_attr_page_in(self.source_key, self)
+
+    @operation
+    def attr_write_out(self, attrs: FileAttributes) -> None:
+        self.world.counters.inc(f"{self.layer.fs_type()}.attr_write_out")
+        self.layer._pager_attr_write_out(self.source_key, self, attrs)
+
+
+class LayerFsCache(FsCache):
+    """A layer's cache-manager end of its *downstream* channel.
+
+    The lower pager invokes these to perform coherency actions against
+    this layer's cached state for one file (``state`` is the layer's
+    per-file record).
+    """
+
+    def __init__(self, domain, layer: "BaseLayer", state: Any) -> None:
+        super().__init__(domain)
+        self.layer = layer
+        self.state = state
+
+    @operation
+    def flush_back(self, offset: int, size: int) -> Dict[int, bytes]:
+        self.world.counters.inc(f"{self.layer.fs_type()}.flush_back")
+        return self.layer._cache_flush_back(self.state, offset, size)
+
+    @operation
+    def deny_writes(self, offset: int, size: int) -> Dict[int, bytes]:
+        self.world.counters.inc(f"{self.layer.fs_type()}.deny_writes")
+        return self.layer._cache_deny_writes(self.state, offset, size)
+
+    @operation
+    def write_back(self, offset: int, size: int) -> Dict[int, bytes]:
+        self.world.counters.inc(f"{self.layer.fs_type()}.write_back")
+        return self.layer._cache_write_back(self.state, offset, size)
+
+    @operation
+    def delete_range(self, offset: int, size: int) -> None:
+        self.world.counters.inc(f"{self.layer.fs_type()}.delete_range")
+        self.layer._cache_delete_range(self.state, offset, size)
+
+    @operation
+    def zero_fill(self, offset: int, size: int) -> None:
+        self.layer._cache_zero_fill(self.state, offset, size)
+
+    @operation
+    def populate(
+        self, offset: int, size: int, access: AccessRights, data: bytes
+    ) -> None:
+        self.layer._cache_populate(self.state, offset, size, access, data)
+
+    @operation
+    def destroy_cache(self) -> None:
+        self.layer._cache_destroy(self.state)
+
+    @operation
+    def invalidate_attributes(self) -> None:
+        self.world.counters.inc(f"{self.layer.fs_type()}.invalidate_attributes")
+        self.layer._cache_invalidate_attributes(self.state)
+
+    @operation
+    def write_back_attributes(self) -> Optional[FileAttributes]:
+        return self.layer._cache_write_back_attributes(self.state)
+
+
+class BaseLayer(StackableFs, CacheManager, abc.ABC):
+    """Shared implementation base for every file system layer."""
+
+    #: How many file systems this layer type may be stacked on.
+    max_under = 1
+
+    def __init__(self, domain) -> None:
+        super().__init__(domain)
+        self._under: List[StackableFs] = []
+        #: Pager side: channels where *we* are the pager.
+        self.channels = ChannelRegistry()
+        #: Cache-manager side: downstream channels keyed by rights oid.
+        self._down_channels_by_rights: Dict[int, Channel] = {}
+        self._pending_bind_state: Any = None
+
+    # ------------------------------------------------------------- stacking
+    @operation
+    def stack_on(self, underlying: StackableFs) -> None:
+        if narrow(underlying, StackableFs) is None:
+            raise StackingError(
+                f"{type(underlying).__name__} is not a stackable_fs"
+            )
+        if len(self._under) >= self.max_under:
+            raise StackingError(
+                f"{self.fs_type()} stacks on at most {self.max_under} "
+                f"file system(s)"
+            )
+        self._under.append(underlying)
+        self._on_stacked(underlying)
+
+    def _on_stacked(self, underlying: StackableFs) -> None:
+        """Hook: called after each successful stack_on."""
+
+    @operation
+    def under_layers(self) -> List[StackableFs]:
+        return list(self._under)
+
+    @property
+    def under(self) -> StackableFs:
+        """The single underlying layer (raises if not stacked yet)."""
+        if not self._under:
+            raise StackingError(f"{self.fs_type()} is not stacked on anything")
+        return self._under[0]
+
+    # ---------------------------------------------------- pager-side binding
+    def bind_source(
+        self,
+        source_key: Hashable,
+        cache_manager: CacheManager,
+        requested_access: AccessRights,
+        offset: int,
+        label: str,
+    ) -> BindResult:
+        """Implements ``bind`` for one of this layer's files: find or
+        create the channel for (file, cache manager) and hand back its
+        cache-rights object."""
+        self.world.charge.bind()
+        channel, created = self.channels.get_or_create(
+            source_key,
+            cache_manager,
+            lambda: self._make_pager_object(source_key),
+            label,
+        )
+        if created:
+            self.world.counters.inc(f"{self.fs_type()}.channel_created")
+            self._on_channel_created(source_key, channel)
+        return BindResult(channel.cache_rights, offset)
+
+    def _make_pager_object(self, source_key: Hashable) -> LayerPagerObject:
+        return LayerPagerObject(self.domain, self, source_key)
+
+    def _on_channel_created(self, source_key: Hashable, channel: Channel) -> None:
+        """Hook: a new upstream channel exists; layers narrow the cache
+        object to fs_cache here if they care (paper sec. 4.3)."""
+
+    # ------------------------------------------------- cache-manager side
+    @operation
+    def accept_channel(self, pager_object: PagerObject, label: str) -> Channel:
+        """Complete a downstream bind we initiated: build our fs_cache and
+        cache-rights ends for the file state recorded by
+        :meth:`bind_below`."""
+        state = self._pending_bind_state
+        if state is None:
+            raise StackingError(
+                f"{self.fs_type()}: unsolicited accept_channel for {label!r}"
+            )
+        cache_object = LayerFsCache(self.domain, self, state)
+        rights = CacheRights(self.domain, label)
+        channel = Channel(pager_object, cache_object, rights, label)
+        rights.channel = channel
+        self._down_channels_by_rights[rights.oid] = channel
+        return channel
+
+    def bind_below(self, state: Any, under_file, access: AccessRights) -> Channel:
+        """Act as a cache manager for ``under_file`` (paper sec. 4.2):
+        bind to it, exchanging fs_cache/fs_pager objects, and return the
+        downstream channel."""
+        self._pending_bind_state = state
+        try:
+            result = under_file.bind(self, access, 0, under_file.get_length())
+        finally:
+            self._pending_bind_state = None
+        channel = self._down_channels_by_rights.get(result.rights.oid)
+        if channel is None:
+            raise StackingError(
+                f"{self.fs_type()}: bind returned rights we did not issue"
+            )
+        return channel
+
+    def down_fs_pager(self, channel: Channel) -> Optional[FsPager]:
+        """Narrow the downstream pager object to fs_pager; None means the
+        lower side is a plain storage pager (paper sec. 4.3)."""
+        return narrow(channel.pager_object, FsPager)
+
+    # ------------------------------------------------------------ fs interface
+    @operation
+    def sync_fs(self) -> None:
+        self._sync_impl()
+        for under in self._under:
+            under.sync_fs()
+
+    def _sync_impl(self) -> None:
+        """Hook: flush this layer's own caches."""
+
+    # ------------------------------------------- pager hooks (override)
+    def _pager_page_in(
+        self, source_key, pager_object, offset: int, size: int, access: AccessRights
+    ) -> bytes:
+        raise NotImplementedError(f"{self.fs_type()} does not serve pages")
+
+    def _pager_page_in_range(
+        self,
+        source_key,
+        pager_object,
+        offset: int,
+        min_size: int,
+        max_size: int,
+        access: AccessRights,
+    ) -> bytes:
+        """Default: no clustering — serve exactly the minimum."""
+        return self._pager_page_in(source_key, pager_object, offset, min_size, access)
+
+    def _pager_page_out(
+        self, source_key, pager_object, offset: int, size: int, data: bytes, retain
+    ) -> None:
+        raise NotImplementedError(f"{self.fs_type()} does not accept pages")
+
+    def _pager_done(self, source_key, pager_object) -> None:
+        for channel in self.channels.channels_for(source_key):
+            if channel.pager_object is pager_object:
+                channel.closed = True
+                self.channels.forget(channel)
+                self._on_channel_closed(source_key, channel)
+
+    def _on_channel_closed(self, source_key, channel: Channel) -> None:
+        """Hook: an upstream channel went away."""
+
+    def _pager_attr_page_in(self, source_key, pager_object) -> FileAttributes:
+        raise NotImplementedError(f"{self.fs_type()} does not serve attributes")
+
+    def _pager_attr_write_out(self, source_key, pager_object, attrs) -> None:
+        raise NotImplementedError(f"{self.fs_type()} does not accept attributes")
+
+    # ------------------------------------------- cache hooks (override)
+    def _cache_flush_back(self, state, offset: int, size: int) -> Dict[int, bytes]:
+        raise NotImplementedError
+
+    def _cache_deny_writes(self, state, offset: int, size: int) -> Dict[int, bytes]:
+        raise NotImplementedError
+
+    def _cache_write_back(self, state, offset: int, size: int) -> Dict[int, bytes]:
+        raise NotImplementedError
+
+    def _cache_delete_range(self, state, offset: int, size: int) -> None:
+        raise NotImplementedError
+
+    def _cache_zero_fill(self, state, offset: int, size: int) -> None:
+        raise NotImplementedError
+
+    def _cache_populate(
+        self, state, offset: int, size: int, access: AccessRights, data: bytes
+    ) -> None:
+        raise NotImplementedError
+
+    def _cache_destroy(self, state) -> None:
+        raise NotImplementedError
+
+    def _cache_invalidate_attributes(self, state) -> None:
+        raise NotImplementedError
+
+    def _cache_write_back_attributes(self, state) -> Optional[FileAttributes]:
+        return None

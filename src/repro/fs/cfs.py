@@ -1,0 +1,334 @@
+"""CFS — the client-side attribute-caching file system (paper sec. 6.2).
+
+"CFS is an attribute-caching file system.  Its main function is to
+interpose on remote files when they are passed to the local machine.
+Once interposed on, all calls to remote files end up being forwarded to
+the local CFS."
+
+Mechanisms reproduced:
+
+* **Dynamic per-file interposition** — :meth:`CfsLayer.interpose` wraps a
+  remote file in a locally implemented :class:`CfsFile` of the same type
+  (Spring object interposition, sec. 5).
+* **Cache-manager bind** — "When CFS is asked to interpose on a file, it
+  becomes a cache manager for the remote file by invoking the bind
+  operation on the file"; the returned channel's fs_pager provides the
+  attribute page-in/out operations CFS caches through.
+* **Bind forwarding to the VMM** — "CFS proceeds by returning to the VMM
+  a pager-cache object channel to the remote DFS.  Therefore, all
+  page-ins and page-outs from the VMM go directly to the remote DFS."
+* **read/write via mapping** — "CFS also services read/write requests by
+  mapping the file into its address space and reading/writing the data
+  from/to its memory (thus utilizing the local VMM for caching the
+  data)."
+
+CFS is optional (the paper's last note): without it, every file
+operation goes to the remote DFS.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+from repro.errors import FsError
+from repro.ipc.invocation import operation
+from repro.ipc.narrow import narrow
+from repro.naming.context import NamingContext
+from repro.types import PAGE_SIZE, AccessRights
+from repro.vm.channel import BindResult, Channel
+from repro.vm.memory_object import CacheManager
+from repro.vm.pager_object import FsPager
+
+from repro.fs.attributes import CachedAttributes, FileAttributes
+from repro.fs.base import BaseLayer
+from repro.fs.file import File
+
+
+class CfsFileState:
+    """Per-interposed-file state on the client."""
+
+    def __init__(self, layer: "CfsLayer", remote_file: File) -> None:
+        self.layer = layer
+        self.remote_file = remote_file
+        self.remote_key = remote_file.source_key
+        self.source_key: Hashable = ("cfs", layer.oid, self.remote_key)
+        self.attrs: Optional[CachedAttributes] = None
+        #: CFS as cache manager for the remote file (attribute channel).
+        self.down_channel: Optional[Channel] = None
+        self.down_pager: Optional[FsPager] = None
+        #: Local mapping used to serve read/write through the local VMM.
+        self.mapping = None
+        self.mapping_length = 0
+
+
+class CfsFile(File):
+    """The locally implemented stand-in for a remote file."""
+
+    def __init__(self, layer: "CfsLayer", state: CfsFileState) -> None:
+        super().__init__(layer.domain)
+        self.layer = layer
+        self.state = state
+        self.source_key = state.source_key
+        layer.world.charge.fs_open_state()
+
+    @operation
+    def bind(
+        self,
+        cache_manager: CacheManager,
+        requested_access: AccessRights,
+        offset: int,
+        length: int,
+    ) -> BindResult:
+        # Forward: local VMM ends up with a channel straight to the
+        # remote DFS; CFS stays out of the page traffic.
+        self.layer.world.counters.inc("cfs.bind_forwarded")
+        return self.state.remote_file.bind(
+            cache_manager, requested_access, offset, length
+        )
+
+    @operation
+    def get_length(self) -> int:
+        return self.layer.cached_attrs(self.state).size
+
+    @operation
+    def set_length(self, length: int) -> None:
+        self.layer.file_set_length(self.state, length)
+
+    @operation
+    def read(self, offset: int, size: int) -> bytes:
+        return self.layer.file_read(self.state, offset, size)
+
+    @operation
+    def write(self, offset: int, data: bytes) -> int:
+        return self.layer.file_write(self.state, offset, data)
+
+    @operation
+    def get_attributes(self) -> FileAttributes:
+        self.layer.world.charge.fs_attr_copy()
+        return self.layer.cached_attrs(self.state).copy()
+
+    @operation
+    def check_access(self, access: AccessRights) -> None:
+        self.layer.world.charge.fs_access_check()
+
+    @operation
+    def sync(self) -> None:
+        self.layer.file_sync(self.state)
+
+
+class CfsContext(NamingContext):
+    """Wraps a remote context so resolved files come back interposed."""
+
+    def __init__(self, layer: "CfsLayer", remote_context: NamingContext) -> None:
+        super().__init__(layer.domain)
+        self.layer = layer
+        self.remote_context = remote_context
+
+    @operation
+    def resolve(self, name: str) -> object:
+        return self.layer.wrap_resolved(self.remote_context.resolve(name))
+
+    @operation
+    def bind(self, name: str, obj: object) -> None:
+        self.remote_context.bind(name, obj)
+
+    @operation
+    def unbind(self, name: str) -> object:
+        return self.remote_context.unbind(name)
+
+    @operation
+    def rebind(self, name: str, obj: object) -> object:
+        return self.remote_context.rebind(name, obj)
+
+    @operation
+    def list_bindings(self):
+        return self.remote_context.list_bindings()
+
+    @operation
+    def create_file(self, name: str) -> File:
+        return self.layer.wrap_resolved(self.remote_context.create_file(name))
+
+
+class CfsLayer(BaseLayer):
+    """The per-node CFS server."""
+
+    max_under = 0
+
+    def __init__(self, domain) -> None:
+        super().__init__(domain)
+        self._states: Dict[Hashable, CfsFileState] = {}
+
+    def fs_type(self) -> str:
+        return "cfs"
+
+    # ------------------------------------------------------------ interposition
+    @operation
+    def interpose(self, remote_file: File) -> CfsFile:
+        """Interpose on one remote file, returning the local stand-in."""
+        state = self._states.get(remote_file.source_key)
+        if state is None:
+            state = CfsFileState(self, remote_file)
+            self._states[state.remote_key] = state
+            # Become a cache manager for the remote file right away.
+            state.down_channel = self.bind_below(
+                state, remote_file, AccessRights.READ_ONLY
+            )
+            state.down_pager = self.down_fs_pager(state.down_channel)
+            self.world.counters.inc("cfs.interposed")
+        return CfsFile(self, state)
+
+    def wrap_resolved(self, obj: object) -> object:
+        remote_file = narrow(obj, File)
+        if remote_file is not None:
+            return self.interpose(remote_file)
+        remote_context = narrow(obj, NamingContext)
+        if remote_context is not None:
+            return CfsContext(self, remote_context)
+        return obj
+
+    # ------------------------------------------------------------- attributes
+    def cached_attrs(self, state: CfsFileState) -> FileAttributes:
+        if state.attrs is None:
+            self.world.counters.inc("cfs.attr_fetch")
+            if state.down_pager is not None:
+                fetched = state.down_pager.attr_page_in()
+            else:
+                fetched = state.remote_file.get_attributes()
+            state.attrs = CachedAttributes(fetched)
+        return state.attrs.attrs
+
+    # --------------------------------------------------------------- data path
+    def _ensure_mapping(self, state: CfsFileState, needed_length: int) -> None:
+        """Map (or re-map) the remote file into CFS's address space so
+        read/write go through the local VMM's page cache."""
+        if state.mapping is not None and state.mapping_length >= needed_length:
+            return
+        vmm = self.domain.node.vmm
+        if state.mapping is None:
+            self._aspace = getattr(self, "_aspace", None) or vmm.create_address_space(
+                "cfs"
+            )
+        length = max(needed_length, self.cached_attrs(state).size)
+        if length == 0:
+            length = PAGE_SIZE
+        if state.mapping is not None:
+            state.mapping.address_space.unmap(state.mapping)
+        state.mapping = self._aspace.map(
+            # Map the CfsFile itself?  No: map the remote file; its bind
+            # is what reaches the remote DFS pager.
+            state.remote_file,
+            AccessRights.READ_WRITE,
+            offset=0,
+            length=length,
+        )
+        state.mapping_length = length
+
+    def file_read(self, state: CfsFileState, offset: int, size: int) -> bytes:
+        self.world.charge.fs_read_cpu()
+        attrs = self.cached_attrs(state)
+        if offset >= attrs.size:
+            return b""
+        size = min(size, attrs.size - offset)
+        self._ensure_mapping(state, offset + size)
+        return state.mapping.read(offset, size)
+
+    def file_write(self, state: CfsFileState, offset: int, data: bytes) -> int:
+        self.world.charge.fs_write_cpu()
+        attrs = self.cached_attrs(state)
+        end = offset + len(data)
+        if end > attrs.size:
+            # Growth must go to the authority (the remote file) so other
+            # clients observe it.  The server's invalidation fan-out may
+            # drop our attribute cache during this call — refetch after.
+            state.remote_file.set_length(end)
+            self.cached_attrs(state)
+            state.attrs.set_size(end)
+        self._ensure_mapping(state, end)
+        state.mapping.write(offset, data)
+        self.cached_attrs(state)
+        state.attrs.touch_mtime(int(self.world.clock.now_us))
+        return len(data)
+
+    def file_set_length(self, state: CfsFileState, length: int) -> None:
+        state.remote_file.set_length(length)
+        if state.attrs is not None:
+            state.attrs.set_size(length)
+
+    def file_sync(self, state: CfsFileState) -> None:
+        if state.attrs is not None and state.attrs.dirty:
+            if state.down_pager is not None:
+                state.down_pager.attr_write_out(state.attrs.attrs.copy())
+            state.attrs.dirty = False
+        if state.mapping is not None:
+            state.mapping.cache.sync()
+
+    def _sync_impl(self) -> None:
+        for state in self._states.values():
+            self.file_sync(state)
+
+    # -------------------------------------------------------------- naming face
+    # CFS is not bound into the FS name space as a tree of its own; these
+    # satisfy the stackable_fs contract minimally.
+    @operation
+    def resolve(self, name: str) -> object:
+        raise FsError("CFS interposes on files; it does not export a tree")
+
+    @operation
+    def bind(self, name: str, obj: object) -> None:
+        raise FsError("CFS does not hold bindings")
+
+    @operation
+    def unbind(self, name: str) -> object:
+        raise FsError("CFS does not hold bindings")
+
+    @operation
+    def rebind(self, name: str, obj: object) -> object:
+        raise FsError("CFS does not hold bindings")
+
+    @operation
+    def list_bindings(self):
+        return []
+
+    # ------------------------------------------------- cache hooks (from DFS)
+    # CFS caches attributes only; data lives in the local VMM (which has
+    # its own channel to the remote DFS).  So data-coherency actions have
+    # nothing to collect here, and attribute invalidations drop the cache.
+    def _cache_flush_back(self, state, offset: int, size: int) -> Dict[int, bytes]:
+        return {}
+
+    def _cache_deny_writes(self, state, offset: int, size: int) -> Dict[int, bytes]:
+        return {}
+
+    def _cache_write_back(self, state, offset: int, size: int) -> Dict[int, bytes]:
+        return {}
+
+    def _cache_delete_range(self, state, offset: int, size: int) -> None:
+        pass
+
+    def _cache_zero_fill(self, state, offset: int, size: int) -> None:
+        pass
+
+    def _cache_populate(self, state, offset, size, access, data) -> None:
+        pass
+
+    def _cache_destroy(self, state) -> None:
+        state.attrs = None
+        state.down_channel = None
+        state.down_pager = None
+
+    def _cache_invalidate_attributes(self, state) -> None:
+        self.world.counters.inc("cfs.attr_invalidated")
+        state.attrs = None
+
+    def _cache_write_back_attributes(self, state) -> Optional[FileAttributes]:
+        if state.attrs is not None and state.attrs.dirty:
+            return state.attrs.attrs.copy()
+        return None
+
+
+def start_cfs(node) -> CfsLayer:
+    """Boot a CFS server on a node (administratively optional)."""
+    from repro.ipc.domain import Credentials
+
+    domain = node.create_domain("cfs", Credentials("cfs", privileged=True))
+    return CfsLayer(domain)

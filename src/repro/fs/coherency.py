@@ -1,0 +1,669 @@
+"""The coherency layer.
+
+"The Spring distributed file system is implemented as a coherency layer.
+The coherency layer implements a per-block multiple-readers/single-writer
+coherency protocol.  Among other things, the implementation keeps track
+of the state of each file block (read-only vs. read-write) and of each
+cache object that holds the block at any point in time. ... The
+coherency layer also caches file attributes using the operations
+provided by the fs_cache and fs_pager interfaces." (paper sec. 6.2)
+
+The layer plays both roles of Figure 4 simultaneously:
+
+* **pager** to its clients (VMMs mapping files, or further layers
+  stacked above): serves page_in/page_out on its files and triggers
+  coherency actions against the other holders before granting access;
+* **cache manager** to the layer below: binds to underlying files,
+  exchanging fs_cache/fs_pager objects, caches their blocks and
+  attributes, and responds to the lower pager's coherency actions —
+  recursively recalling data from its own upstream holders first.
+
+Stacking an instance of this layer over any non-coherent layer yields a
+coherent stack (sec. 6.3); Spring SFS is exactly coherency-over-disk
+(Figure 10).  Construct with ``cache=False`` to disable data+attribute
+caching — the "Cached by Coherency Layer? No" rows of Table 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional
+
+from repro.errors import FsError, StaleFileError
+from repro.ipc.invocation import operation
+from repro.ipc.narrow import narrow
+from repro.naming.context import NamingContext
+from repro.types import PAGE_SIZE, AccessRights, page_range
+from repro.vm.channel import BindResult, Channel
+from repro.vm.cache_object import FsCache
+from repro.vm.memory_object import CacheManager
+from repro.vm.page import CachedPage, PageStore
+from repro.vm.pager_object import FsPager
+
+from repro.fs.attributes import CachedAttributes, FileAttributes
+from repro.fs.base import BaseLayer
+from repro.fs.file import File
+from repro.fs.holders import BlockHolderTable, make_holder_table
+
+
+class CoherentFileState:
+    """Per-file state the coherency layer maintains (one per underlying
+    file, shared by every open handle and every upstream channel)."""
+
+    def __init__(self, layer: "CoherencyLayer", under_file: File) -> None:
+        self.layer = layer
+        self.under_file = under_file
+        self.under_key = under_file.source_key
+        self.source_key: Hashable = ("coh", layer.oid, self.under_key)
+        self.store = PageStore()
+        self.attrs: Optional[CachedAttributes] = None
+        self.holders = make_holder_table(layer.protocol)
+        self.down_channel: Optional[Channel] = None
+        self.down_pager: Optional[FsPager] = None
+        self.destroyed = False
+        self.last_fault_index: Optional[int] = None
+
+
+class CoherentFile(File):
+    """An open handle to a file exported by the coherency layer."""
+
+    def __init__(self, layer: "CoherencyLayer", state: CoherentFileState) -> None:
+        super().__init__(layer.domain)
+        self.layer = layer
+        self.state = state
+        self.source_key = state.source_key
+        layer.world.charge.fs_open_state()
+
+    # --- memory_object -------------------------------------------------------
+    @operation
+    def bind(
+        self,
+        cache_manager: CacheManager,
+        requested_access: AccessRights,
+        offset: int,
+        length: int,
+    ) -> BindResult:
+        return self.layer.bind_source(
+            self.source_key,
+            cache_manager,
+            requested_access,
+            offset,
+            label=f"coh:{self.state.under_key}",
+        )
+
+    @operation
+    def get_length(self) -> int:
+        return self.layer.file_length(self.state)
+
+    @operation
+    def set_length(self, length: int) -> None:
+        self.layer.file_set_length(self.state, length)
+
+    # --- file -----------------------------------------------------------------
+    @operation
+    def read(self, offset: int, size: int) -> bytes:
+        return self.layer.file_read(self.state, offset, size)
+
+    @operation
+    def write(self, offset: int, data: bytes) -> int:
+        return self.layer.file_write(self.state, offset, data)
+
+    @operation
+    def get_attributes(self) -> FileAttributes:
+        return self.layer.file_get_attributes(self.state)
+
+    @operation
+    def check_access(self, access: AccessRights) -> None:
+        self.layer.world.charge.fs_access_check()
+        if self.state.destroyed:
+            raise StaleFileError("file state destroyed under open handle")
+
+    @operation
+    def sync(self) -> None:
+        self.layer.file_sync(self.state)
+
+
+class CoherentDirectory(NamingContext):
+    """Wraps an underlying directory context, exporting coherent files."""
+
+    def __init__(self, layer: "CoherencyLayer", under_context: NamingContext) -> None:
+        super().__init__(layer.domain)
+        self.layer = layer
+        self.under_context = under_context
+
+    @operation
+    def resolve(self, name: str) -> object:
+        return self.layer.wrap_resolved(self.under_context.resolve(name))
+
+    @operation
+    def bind(self, name: str, obj: object) -> None:
+        self.under_context.bind(name, obj)
+
+    @operation
+    def unbind(self, name: str) -> object:
+        self.layer.purge_named(self.under_context, name)
+        return self.under_context.unbind(name)
+
+    @operation
+    def rebind(self, name: str, obj: object) -> object:
+        return self.under_context.rebind(name, obj)
+
+    @operation
+    def list_bindings(self):
+        return [
+            (name, self.layer.wrap_resolved(obj, charge_open=False))
+            for name, obj in self.under_context.list_bindings()
+        ]
+
+    @operation
+    def create_file(self, name: str) -> File:
+        return self.layer.wrap_resolved(self.under_context.create_file(name))
+
+    @operation
+    def create_dir(self, name: str) -> "CoherentDirectory":
+        return CoherentDirectory(self.layer, self.under_context.create_dir(name))
+
+    @operation
+    def rename(self, old_name: str, new_name: str) -> None:
+        self.under_context.rename(old_name, new_name)
+
+
+class CoherencyLayer(BaseLayer):
+    """See module docstring."""
+
+    max_under = 1
+
+    def __init__(
+        self,
+        domain,
+        cache: bool = True,
+        readahead_pages: int = 0,
+        protocol: str = "per_block",
+    ) -> None:
+        super().__init__(domain)
+        self.cache_enabled = cache
+        #: Sequential read-ahead window toward the layer below (sec. 8
+        #: extension); 0 = off.
+        self.readahead_pages = readahead_pages
+        #: Coherency policy: "per_block" (the paper's production choice)
+        #: or "whole_file" (coarse single-owner) — the protocol is not
+        #: dictated by the architecture (sec. 3.3.3).
+        self.protocol = protocol
+        self._states: Dict[Hashable, CoherentFileState] = {}
+        self._states_by_source: Dict[Hashable, CoherentFileState] = {}
+
+    def fs_type(self) -> str:
+        return "coherency"
+
+    # ------------------------------------------------------------ naming face
+    @operation
+    def resolve(self, name: str) -> object:
+        return self.wrap_resolved(self.under.resolve(name))
+
+    @operation
+    def bind(self, name: str, obj: object) -> None:
+        self.under.bind(name, obj)
+
+    @operation
+    def unbind(self, name: str) -> object:
+        self.purge_named(self.under, name)
+        return self.under.unbind(name)
+
+    @operation
+    def rebind(self, name: str, obj: object) -> object:
+        return self.under.rebind(name, obj)
+
+    @operation
+    def list_bindings(self):
+        return [
+            (name, self.wrap_resolved(obj, charge_open=False))
+            for name, obj in self.under.list_bindings()
+        ]
+
+    @operation
+    def create_file(self, name: str) -> File:
+        return self.wrap_resolved(self.under.create_file(name))
+
+    # ------------------------------------------------------ unlink hygiene
+    def purge_named(self, under_context, name: str) -> None:
+        """Drop this layer's per-file state before an unlink: the lower
+        layer may reuse the freed i-node for a new file, and stale cached
+        attributes/pages must not be resurrected for it."""
+        try:
+            obj = under_context.resolve(name)
+        except Exception:
+            return
+        under_file = narrow(obj, File)
+        if under_file is not None:
+            self._purge_state(under_file.source_key)
+
+    def _purge_state(self, under_key: Hashable) -> None:
+        state = self._states.pop(under_key, None)
+        if state is None:
+            return
+        self._states_by_source.pop(state.source_key, None)
+        state.holders.invalidate(0, 2**62)
+        state.store.clear()
+        state.attrs = None
+        state.destroyed = True
+        if state.down_channel is not None and not state.down_channel.closed:
+            state.down_channel.close()
+
+    @operation
+    def create_dir(self, name: str) -> CoherentDirectory:
+        return CoherentDirectory(self, self.under.create_dir(name))
+
+    @operation
+    def rename(self, old_name: str, new_name: str) -> None:
+        self.under.rename(old_name, new_name)
+
+    def wrap_resolved(self, obj: object, charge_open: bool = True) -> object:
+        """Wrap whatever the lower layer resolved: files get coherent
+        handles (the open path), directories get wrapping contexts."""
+        under_file = narrow(obj, File)
+        if under_file is not None:
+            if charge_open:
+                under_file.check_access(AccessRights.READ_ONLY)
+                attrs = under_file.get_attributes()
+            else:
+                attrs = None
+            state = self._state_for(under_file)
+            if self.cache_enabled and state.attrs is None and attrs is not None:
+                state.attrs = CachedAttributes(attrs.copy())
+            if charge_open:
+                return CoherentFile(self, state)
+            handle = object.__new__(CoherentFile)
+            File.__init__(handle, self.domain)
+            handle.layer = self
+            handle.state = state
+            handle.source_key = state.source_key
+            return handle
+        under_context = narrow(obj, NamingContext)
+        if under_context is not None:
+            return CoherentDirectory(self, under_context)
+        return obj
+
+    def _state_for(self, under_file: File) -> CoherentFileState:
+        state = self._states.get(under_file.source_key)
+        if state is None:
+            state = CoherentFileState(self, under_file)
+            self._states[state.under_key] = state
+            self._states_by_source[state.source_key] = state
+        return state
+
+    # ------------------------------------------------------ downstream access
+    def _ensure_down(self, state: CoherentFileState) -> None:
+        """Establish (once) the downstream channel: the layer acting as a
+        cache manager for the underlying file (paper sec. 4.2)."""
+        if state.down_channel is None or state.down_channel.closed:
+            channel = self.bind_below(
+                state, state.under_file, AccessRights.READ_WRITE
+            )
+            state.down_channel = channel
+            state.down_pager = self.down_fs_pager(channel)
+
+    def _fault_below(self, state: CoherentFileState, access: AccessRights):
+        """Fault callback for ``state.store``: page in from the lower
+        layer through the downstream channel.  With ``readahead_pages``
+        set, sequential misses issue a ranged page-in and install the
+        extra (clustered) data speculatively."""
+
+        def fault(index: int, needed: AccessRights) -> CachedPage:
+            effective = access if access.writable else needed
+            self._ensure_down(state)
+            window = self.readahead_pages
+            sequential = (
+                state.last_fault_index is not None
+                and index == state.last_fault_index + 1
+            )
+            state.last_fault_index = index
+            if window > 0 and sequential:
+                self.world.counters.inc("coherency.readahead")
+                data = state.down_channel.pager_object.page_in_range(
+                    index * PAGE_SIZE,
+                    PAGE_SIZE,
+                    (1 + window) * PAGE_SIZE,
+                    effective,
+                )
+                extra_pages = max(0, (len(data) - 1) // PAGE_SIZE)
+                for i in range(1, extra_pages + 1):
+                    if (index + i) not in state.store:
+                        state.store.install(
+                            index + i,
+                            data[i * PAGE_SIZE : (i + 1) * PAGE_SIZE],
+                            effective,
+                        )
+                # Keep the scan looking sequential past the window.
+                state.last_fault_index = index + extra_pages
+                return state.store.install(index, data[:PAGE_SIZE], effective)
+            data = state.down_channel.pager_object.page_in(
+                index * PAGE_SIZE, PAGE_SIZE, effective
+            )
+            return state.store.install(index, data, effective)
+
+        return fault
+
+    def _merge_recovered(
+        self, state: CoherentFileState, recovered: Dict[int, bytes]
+    ) -> None:
+        """Fold data recalled from upstream holders into our cache as
+        dirty (it is newer than the lower layer's copy), or push it
+        straight down when we are not caching."""
+        if not recovered:
+            return
+        if self.cache_enabled:
+            for index, data in recovered.items():
+                state.store.install(
+                    index, data, AccessRights.READ_WRITE, dirty=True
+                )
+        else:
+            self._ensure_down(state)
+            for index, data in sorted(recovered.items()):
+                state.down_channel.pager_object.page_out(
+                    index * PAGE_SIZE, PAGE_SIZE, data
+                )
+
+    # ------------------------------------------------------------- attributes
+    def _collect_latest_attrs(self, state: CoherentFileState) -> None:
+        """Attribute analogue of write_back: pull dirty attributes from
+        upstream file-system caches (narrowable to fs_cache) so this
+        layer's view is current.  VMM channels are plain cache managers
+        and are skipped — so this costs nothing in a plain SFS."""
+        for channel in self.channels.channels_for(state.source_key):
+            fs_cache = narrow(channel.cache_object, FsCache)
+            if fs_cache is None:
+                continue
+            fetched = fs_cache.write_back_attributes()
+            if fetched is not None:
+                if self.cache_enabled:
+                    state.attrs = CachedAttributes(fetched, dirty=True)
+                else:
+                    self._ensure_down(state)
+                    if state.down_pager is not None:
+                        state.down_pager.attr_write_out(fetched)
+
+    def _current_attrs(self, state: CoherentFileState) -> FileAttributes:
+        self._collect_latest_attrs(state)
+        if self.cache_enabled:
+            if state.attrs is None:
+                self._ensure_down(state)
+                if state.down_pager is not None:
+                    fetched = state.down_pager.attr_page_in()
+                else:
+                    fetched = state.under_file.get_attributes()
+                state.attrs = CachedAttributes(fetched)
+            return state.attrs.attrs
+        return state.under_file.get_attributes()
+
+    def _now(self) -> int:
+        return int(self.world.clock.now_us)
+
+    def _invalidate_upstream_attrs(
+        self, state: CoherentFileState, exclude: Optional[Channel] = None
+    ) -> None:
+        """Attribute-coherency fan-out: tell every upstream file-system
+        cache (narrowable to fs_cache) to drop its attribute copy."""
+        for channel in self.channels.channels_for(state.source_key):
+            if exclude is not None and channel is exclude:
+                continue
+            fs_cache = narrow(channel.cache_object, FsCache)
+            if fs_cache is not None:
+                fs_cache.invalidate_attributes()
+
+    # --------------------------------------------------------------- file ops
+    def file_read(self, state: CoherentFileState, offset: int, size: int) -> bytes:
+        self.world.charge.fs_read_cpu()
+        attrs = self._current_attrs(state)
+        if offset >= attrs.size:
+            return b""
+        size = min(size, attrs.size - offset)
+        recovered = state.holders.collect_latest(offset, size)
+        self._merge_recovered(state, recovered)
+        if self.cache_enabled:
+            data = state.store.read(
+                offset, size, self._fault_below(state, AccessRights.READ_ONLY)
+            )
+            state.attrs.touch_atime(self._now())
+        else:
+            data = self._read_through(state, offset, size, recovered)
+        self.world.charge.memcpy(size)
+        return data
+
+    def _read_through(
+        self,
+        state: CoherentFileState,
+        offset: int,
+        size: int,
+        recovered: Dict[int, bytes],
+    ) -> bytes:
+        self._ensure_down(state)
+        out = bytearray()
+        position, remaining = offset, size
+        while remaining > 0:
+            index, start = divmod(position, PAGE_SIZE)
+            take = min(PAGE_SIZE - start, remaining)
+            if index in recovered:
+                page = recovered[index]
+            else:
+                page = state.down_channel.pager_object.page_in(
+                    index * PAGE_SIZE, PAGE_SIZE, AccessRights.READ_ONLY
+                )
+            page = page + bytes(PAGE_SIZE - len(page))
+            out += page[start : start + take]
+            position += take
+            remaining -= take
+        return bytes(out)
+
+    def file_write(self, state: CoherentFileState, offset: int, data: bytes) -> int:
+        self.world.charge.fs_write_cpu()
+        recovered = state.holders.acquire(
+            None, offset, len(data), AccessRights.READ_WRITE
+        )
+        self._merge_recovered(state, recovered)
+        self.world.charge.memcpy(len(data))
+        if self.cache_enabled:
+            state.store.write(
+                offset, data, self._fault_below(state, AccessRights.READ_WRITE)
+            )
+            self._current_attrs(state)  # ensure attrs are cached
+            state.attrs.grow(offset + len(data))
+            state.attrs.touch_mtime(self._now())
+            self._invalidate_upstream_attrs(state)
+        else:
+            state.under_file.write(offset, data)
+        return len(data)
+
+    def file_get_attributes(self, state: CoherentFileState) -> FileAttributes:
+        self.world.charge.fs_attr_copy()
+        return self._current_attrs(state).copy()
+
+    def file_length(self, state: CoherentFileState) -> int:
+        return self._current_attrs(state).size
+
+    def file_set_length(self, state: CoherentFileState, length: int) -> None:
+        old = self._current_attrs(state).size
+        if length < old:
+            if length % PAGE_SIZE:
+                # Recover the boundary page from any dirty holder before
+                # invalidating — its head (below the new length) survives.
+                boundary = (length // PAGE_SIZE) * PAGE_SIZE
+                recovered = state.holders.acquire(
+                    None, boundary, PAGE_SIZE, AccessRights.READ_WRITE
+                )
+                self._merge_recovered(state, recovered)
+            state.holders.invalidate(length, old - length)
+            state.store.truncate_to(length)
+        if self.cache_enabled:
+            state.attrs.set_size(length)
+            state.attrs.touch_mtime(self._now())
+            self._invalidate_upstream_attrs(state)
+        state.under_file.set_length(length)
+
+    def file_sync(self, state: CoherentFileState) -> None:
+        """Push dirty attributes (first — the length clamps page-outs)
+        and dirty blocks to the lower layer."""
+        if not self.cache_enabled:
+            return
+        self._ensure_down(state)
+        if state.attrs is not None and state.attrs.dirty:
+            if state.down_pager is not None:
+                state.down_pager.attr_write_out(state.attrs.attrs.copy())
+            state.attrs.dirty = False
+        for index, page in state.store.dirty_pages():
+            state.down_channel.pager_object.sync(
+                index * PAGE_SIZE, PAGE_SIZE, page.snapshot()
+            )
+            page.dirty = False
+
+    def _sync_impl(self) -> None:
+        for state in self._states.values():
+            if not state.destroyed:
+                self.file_sync(state)
+
+    # ------------------------------------------------ pager hooks (upstream)
+    def _state_by_source(self, source_key: Hashable) -> CoherentFileState:
+        state = self._states_by_source.get(source_key)
+        if state is None:
+            raise FsError(f"no file state for {source_key!r}")
+        return state
+
+    def _requester_channel(self, source_key, pager_object) -> Channel:
+        for channel in self.channels.channels_for(source_key):
+            if channel.pager_object is pager_object:
+                return channel
+        raise FsError("pager object does not belong to a live channel")
+
+    def _pager_page_in(
+        self, source_key, pager_object, offset: int, size: int, access: AccessRights
+    ) -> bytes:
+        state = self._state_by_source(source_key)
+        requester = self._requester_channel(source_key, pager_object)
+        recovered = state.holders.acquire(requester, offset, size, access)
+        self._merge_recovered(state, recovered)
+        if self.cache_enabled:
+            return state.store.read(offset, size, self._fault_below(state, access))
+        return self._read_through(state, offset, size, recovered)
+
+    def _pager_page_in_range(
+        self, source_key, pager_object, offset, min_size, max_size, access
+    ) -> bytes:
+        """Serve a ranged page-in from the cache (clamped to the file),
+        so an upstream reader with read-ahead enabled gets its window in
+        one call — and this layer prefetches below with clustering."""
+        state = self._state_by_source(source_key)
+        if self.cache_enabled:
+            size = min(max_size, max(min_size, self.file_length(state) - offset))
+            size = max(size, 0)
+            if size == 0:
+                return b""
+            requester = self._requester_channel(source_key, pager_object)
+            recovered = state.holders.acquire(requester, offset, size, access)
+            self._merge_recovered(state, recovered)
+            return state.store.read(offset, size, self._fault_below(state, access))
+        return self._pager_page_in(
+            source_key, pager_object, offset, min_size, access
+        )
+
+    def _pager_page_out(
+        self, source_key, pager_object, offset: int, size: int, data: bytes, retain
+    ) -> None:
+        state = self._state_by_source(source_key)
+        requester = self._requester_channel(source_key, pager_object)
+        if retain is None:
+            state.holders.forget_range(requester, offset, size)
+        elif retain is AccessRights.READ_ONLY:
+            state.holders.record(requester, offset, size, AccessRights.READ_ONLY)
+        else:
+            # sync: the client retains the data read-write — it IS a
+            # writer of these blocks, so register it (flushing any other
+            # holder first; the incoming data supersedes what they held).
+            recovered = state.holders.acquire(
+                requester, offset, size, AccessRights.READ_WRITE
+            )
+            self._merge_recovered(state, recovered)
+        pages = {
+            index: data[i * PAGE_SIZE : (i + 1) * PAGE_SIZE]
+            for i, index in enumerate(page_range(offset, size))
+        }
+        self._merge_recovered(state, pages)
+
+    def _pager_attr_page_in(self, source_key, pager_object) -> FileAttributes:
+        state = self._state_by_source(source_key)
+        return self._current_attrs(state).copy()
+
+    def _pager_attr_write_out(self, source_key, pager_object, attrs) -> None:
+        state = self._state_by_source(source_key)
+        if self.cache_enabled:
+            state.attrs = CachedAttributes(attrs.copy(), dirty=True)
+            requester = self._requester_channel(source_key, pager_object)
+            self._invalidate_upstream_attrs(state, exclude=requester)
+        else:
+            self._ensure_down(state)
+            if state.down_pager is not None:
+                state.down_pager.attr_write_out(attrs)
+
+    def _on_channel_closed(self, source_key, channel: Channel) -> None:
+        state = self._states_by_source.get(source_key)
+        if state is not None:
+            state.holders.drop_channel(channel)
+
+    # --------------------------------------------- cache hooks (downstream)
+    # The lower pager acts on our cache of ITS file; we must first recall
+    # the affected blocks from our own upstream holders (recursive
+    # coherency, the P3-C3 arrow of Figure 6 composed with P1-C1).
+    def _cache_flush_back(self, state, offset: int, size: int) -> Dict[int, bytes]:
+        recovered = state.holders.acquire(None, offset, size, AccessRights.READ_WRITE)
+        for index, data in recovered.items():
+            state.store.install(index, data, AccessRights.READ_WRITE, dirty=True)
+        modified = state.store.collect_modified(offset, size)
+        state.store.drop_range(offset, size)
+        return modified
+
+    def _cache_deny_writes(self, state, offset: int, size: int) -> Dict[int, bytes]:
+        recovered = state.holders.acquire(None, offset, size, AccessRights.READ_ONLY)
+        for index, data in recovered.items():
+            state.store.install(index, data, AccessRights.READ_WRITE, dirty=True)
+        modified = state.store.collect_modified(offset, size)
+        state.store.downgrade_range(offset, size)
+        state.store.clean_range(offset, size)
+        return modified
+
+    def _cache_write_back(self, state, offset: int, size: int) -> Dict[int, bytes]:
+        recovered = state.holders.collect_latest(offset, size)
+        for index, data in recovered.items():
+            state.store.install(index, data, AccessRights.READ_WRITE, dirty=True)
+        modified = state.store.collect_modified(offset, size)
+        state.store.clean_range(offset, size)
+        return modified
+
+    def _cache_delete_range(self, state, offset: int, size: int) -> None:
+        state.holders.invalidate(offset, size)
+        state.store.drop_range(offset, size)
+
+    def _cache_zero_fill(self, state, offset: int, size: int) -> None:
+        state.holders.invalidate(offset, size)
+        state.store.zero_range(offset, size)
+
+    def _cache_populate(
+        self, state, offset: int, size: int, access: AccessRights, data: bytes
+    ) -> None:
+        for i, index in enumerate(page_range(offset, size)):
+            state.store.install(
+                index, data[i * PAGE_SIZE : (i + 1) * PAGE_SIZE], access
+            )
+
+    def _cache_destroy(self, state) -> None:
+        state.store.clear()
+        state.attrs = None
+        state.destroyed = True
+
+    def _cache_invalidate_attributes(self, state) -> None:
+        state.attrs = None
+        self._invalidate_upstream_attrs(state)
+
+    def _cache_write_back_attributes(self, state) -> Optional[FileAttributes]:
+        if state.attrs is not None and state.attrs.dirty:
+            # The pager below now owns the latest attributes; our copy is
+            # clean (mirrors write_back's dirty-clearing for data).
+            state.attrs.dirty = False
+            return state.attrs.attrs.copy()
+        return None

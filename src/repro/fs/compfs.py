@@ -1,0 +1,560 @@
+"""COMPFS — the compression file system layer (paper sec. 4.2.1).
+
+"Suppose we would like to implement a compression file system (COMPFS).
+We can use COMPFS to save disk space by compressing all data before
+writing it out and by uncompressing all data read from the disk.  Since
+we are not interested in rewriting an on-disk file system, we can
+implement COMPFS as a layer on top of a base file system (SFS)."
+
+The two design points the paper walks through are both implemented and
+selected per instance:
+
+* ``coherent=False`` — **case 1 (Figure 5)**: COMPFS accesses the
+  underlying file through the plain file interface and caches plaintext.
+  Mappings/reads of file_COMP and direct access to file_SFS are *not*
+  coherent: a direct write to the underlying file leaves COMPFS's
+  plaintext cache stale (the staleness window Figure 5 warns about, and
+  which ``benchmarks/bench_fig05_compfs_case1.py`` demonstrates).
+* ``coherent=True`` — **case 2 (Figure 6)**: COMPFS additionally acts
+  as a cache manager for the underlying file by binding to it (the
+  C3-P3 connection).  Direct writes to file_SFS now flush COMPFS's
+  plaintext cache, and COMPFS writes through immediately, so all views
+  stay coherent.
+
+On-disk format of the underlying file: ``b"CZ01" + u64 plaintext size +
+zlib stream``.  Compression is real (zlib), so the space savings COMPFS
+exists for are measurable.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Dict, Hashable, Optional
+
+from repro.errors import FsError
+from repro.ipc.invocation import operation
+from repro.ipc.narrow import narrow
+from repro.naming.context import NamingContext
+from repro.types import PAGE_SIZE, AccessRights, page_range
+from repro.vm.channel import BindResult, Channel
+from repro.vm.memory_object import CacheManager
+from repro.vm.page import PageStore
+
+from repro.fs.attributes import FileAttributes
+from repro.fs.base import BaseLayer
+from repro.fs.file import File
+from repro.fs.holders import BlockHolderTable
+
+MAGIC = b"CZ01"
+_HEADER = struct.Struct("<4sQ")
+
+
+def pack_compressed(plaintext: bytes, level: int = 6) -> bytes:
+    return _HEADER.pack(MAGIC, len(plaintext)) + zlib.compress(plaintext, level)
+
+
+def unpack_compressed(payload: bytes) -> bytes:
+    if len(payload) == 0:
+        return b""
+    if len(payload) < _HEADER.size:
+        raise FsError("underlying file too short to be a COMPFS file")
+    magic, plain_size = _HEADER.unpack_from(payload)
+    if magic != MAGIC:
+        raise FsError("underlying file is not in COMPFS format")
+    plaintext = zlib.decompress(payload[_HEADER.size :])
+    if len(plaintext) != plain_size:
+        raise FsError(
+            f"COMPFS header claims {plain_size} bytes, got {len(plaintext)}"
+        )
+    return plaintext
+
+
+class CompFileState:
+    """Per-file state: plaintext cache + upstream holders + downstream
+    channel (case 2 only)."""
+
+    def __init__(self, layer: "CompFs", under_file: File) -> None:
+        self.layer = layer
+        self.under_file = under_file
+        self.under_key = under_file.source_key
+        self.source_key: Hashable = ("compfs", layer.oid, self.under_key)
+        self.plain = PageStore()
+        self.plain_size: Optional[int] = None  # None = not loaded
+        self.dirty = False
+        self.holders = BlockHolderTable()
+        self.down_channel: Optional[Channel] = None
+        #: True while _write_through is rewriting the underlying file.
+        #: The lower layer's coherency actions during that window are
+        #: echoes of our own write — they must not invalidate the (still
+        #: current) plaintext or our clients' caches.
+        self.writing_through = False
+
+
+class CompFile(File):
+    """An open handle to a COMPFS file (plaintext view)."""
+
+    def __init__(self, layer: "CompFs", state: CompFileState) -> None:
+        super().__init__(layer.domain)
+        self.layer = layer
+        self.state = state
+        self.source_key = state.source_key
+        layer.world.charge.fs_open_state()
+
+    @operation
+    def bind(
+        self,
+        cache_manager: CacheManager,
+        requested_access: AccessRights,
+        offset: int,
+        length: int,
+    ) -> BindResult:
+        # Case 1 or 2, binds to file_COMP are handled by COMPFS itself —
+        # plaintext differs from the stored data, so the underlying cache
+        # can never be shared (paper sec. 4.2.2 last paragraph).
+        return self.layer.bind_source(
+            self.source_key,
+            cache_manager,
+            requested_access,
+            offset,
+            label=f"compfs:{self.state.under_key}",
+        )
+
+    @operation
+    def get_length(self) -> int:
+        self.layer._ensure_loaded(self.state)
+        return self.state.plain_size
+
+    @operation
+    def set_length(self, length: int) -> None:
+        self.layer.file_set_length(self.state, length)
+
+    @operation
+    def read(self, offset: int, size: int) -> bytes:
+        return self.layer.file_read(self.state, offset, size)
+
+    @operation
+    def write(self, offset: int, data: bytes) -> int:
+        return self.layer.file_write(self.state, offset, data)
+
+    @operation
+    def get_attributes(self) -> FileAttributes:
+        return self.layer.file_get_attributes(self.state)
+
+    @operation
+    def check_access(self, access: AccessRights) -> None:
+        self.layer.world.charge.fs_access_check()
+
+    @operation
+    def sync(self) -> None:
+        self.layer.file_sync(self.state)
+
+
+class CompDirectory(NamingContext):
+    """Directory wrapper exporting COMPFS files."""
+
+    def __init__(self, layer: "CompFs", under_context: NamingContext) -> None:
+        super().__init__(layer.domain)
+        self.layer = layer
+        self.under_context = under_context
+
+    @operation
+    def resolve(self, name: str) -> object:
+        return self.layer.wrap_resolved(self.under_context.resolve(name))
+
+    @operation
+    def bind(self, name: str, obj: object) -> None:
+        self.under_context.bind(name, obj)
+
+    @operation
+    def unbind(self, name: str) -> object:
+        self.layer.purge_named(self.under_context, name)
+        return self.under_context.unbind(name)
+
+    @operation
+    def rebind(self, name: str, obj: object) -> object:
+        return self.under_context.rebind(name, obj)
+
+    @operation
+    def list_bindings(self):
+        return [
+            (name, self.layer.wrap_resolved(obj, charge_open=False))
+            for name, obj in self.under_context.list_bindings()
+        ]
+
+    @operation
+    def create_file(self, name: str) -> File:
+        return self.layer.wrap_resolved(self.under_context.create_file(name))
+
+    @operation
+    def create_dir(self, name: str) -> "CompDirectory":
+        return CompDirectory(self.layer, self.under_context.create_dir(name))
+
+    @operation
+    def rename(self, old_name: str, new_name: str) -> None:
+        self.under_context.rename(old_name, new_name)
+
+
+class CompFs(BaseLayer):
+    """The compression layer; see module docstring."""
+
+    max_under = 1
+
+    def __init__(self, domain, coherent: bool = True, level: int = 6) -> None:
+        super().__init__(domain)
+        self.coherent = coherent
+        self.level = level
+        self._states: Dict[Hashable, CompFileState] = {}
+        self._states_by_source: Dict[Hashable, CompFileState] = {}
+
+    def fs_type(self) -> str:
+        return "compfs"
+
+    # ------------------------------------------------------------- naming face
+    @operation
+    def resolve(self, name: str) -> object:
+        return self.wrap_resolved(self.under.resolve(name))
+
+    @operation
+    def bind(self, name: str, obj: object) -> None:
+        self.under.bind(name, obj)
+
+    @operation
+    def unbind(self, name: str) -> object:
+        self.purge_named(self.under, name)
+        return self.under.unbind(name)
+
+    @operation
+    def rebind(self, name: str, obj: object) -> object:
+        return self.under.rebind(name, obj)
+
+    @operation
+    def list_bindings(self):
+        return [
+            (name, self.wrap_resolved(obj, charge_open=False))
+            for name, obj in self.under.list_bindings()
+        ]
+
+    @operation
+    def create_file(self, name: str) -> File:
+        # "A request to COMPFS to create a new file_COMP results in
+        # COMPFS creating a new underlying file_SFS."
+        return self.wrap_resolved(self.under.create_file(name))
+
+    @operation
+    def create_dir(self, name: str) -> CompDirectory:
+        return CompDirectory(self, self.under.create_dir(name))
+
+    @operation
+    def rename(self, old_name: str, new_name: str) -> None:
+        self.under.rename(old_name, new_name)
+
+    # ------------------------------------------------------ unlink hygiene
+    def purge_named(self, under_context, name: str) -> None:
+        """Drop per-file state before an unlink; the freed i-node may be
+        reused and stale cached state must not leak into the new file."""
+        try:
+            obj = under_context.resolve(name)
+        except Exception:
+            return
+        under_file = narrow(obj, File)
+        if under_file is not None:
+            self._purge_state(under_file.source_key)
+
+    def _purge_state(self, under_key) -> None:
+        state = self._states.pop(under_key, None)
+        if state is None:
+            return
+        self._states_by_source.pop(state.source_key, None)
+        state.holders.invalidate(0, 2**62)
+        state.plain.clear()
+        state.plain_size = None
+        state.dirty = False
+        if state.down_channel is not None and not state.down_channel.closed:
+            state.down_channel.close()
+            state.down_channel = None
+
+    def wrap_resolved(self, obj: object, charge_open: bool = True) -> object:
+        under_file = narrow(obj, File)
+        if under_file is not None:
+            if charge_open:
+                under_file.check_access(AccessRights.READ_ONLY)
+                under_file.get_attributes()
+            state = self._state_for(under_file)
+            if charge_open:
+                return CompFile(self, state)
+            handle = object.__new__(CompFile)
+            File.__init__(handle, self.domain)
+            handle.layer = self
+            handle.state = state
+            handle.source_key = state.source_key
+            return handle
+        under_context = narrow(obj, NamingContext)
+        if under_context is not None:
+            return CompDirectory(self, under_context)
+        return obj
+
+    def _state_for(self, under_file: File) -> CompFileState:
+        state = self._states.get(under_file.source_key)
+        if state is None:
+            state = CompFileState(self, under_file)
+            self._states[state.under_key] = state
+            self._states_by_source[state.source_key] = state
+        return state
+
+    # -------------------------------------------------------------- load/store
+    def _ensure_down(self, state: CompFileState) -> None:
+        """Case 2: establish the C3-P3 connection so direct access to the
+        underlying file triggers coherency actions against us."""
+        if not self.coherent:
+            return
+        if state.down_channel is None or state.down_channel.closed:
+            state.down_channel = self.bind_below(
+                state, state.under_file, AccessRights.READ_ONLY
+            )
+
+    def _ensure_loaded(self, state: CompFileState) -> None:
+        if state.plain_size is not None:
+            return
+        self._ensure_down(state)
+        compressed_size = state.under_file.get_length()
+        if self.coherent and compressed_size > 0:
+            # Read through the channel so we are registered as a holder.
+            payload = bytearray()
+            for index in page_range(0, compressed_size):
+                payload += state.down_channel.pager_object.page_in(
+                    index * PAGE_SIZE, PAGE_SIZE, AccessRights.READ_ONLY
+                )
+            payload = bytes(payload[:compressed_size])
+        else:
+            payload = state.under_file.read(0, compressed_size)
+        plaintext = unpack_compressed(payload)
+        self.world.charge.decompress(len(payload))
+        for index in page_range(0, len(plaintext)):
+            state.plain.install(
+                index,
+                plaintext[index * PAGE_SIZE : (index + 1) * PAGE_SIZE],
+                AccessRights.READ_WRITE,
+            )
+        state.plain_size = len(plaintext)
+        state.dirty = False
+
+    def _plaintext(self, state: CompFileState) -> bytes:
+        assert state.plain_size is not None
+        if state.plain_size == 0:
+            return b""
+        data = state.plain.read(0, state.plain_size, self._zero_fault(state))
+        return data
+
+    @staticmethod
+    def _zero_fault(state: CompFileState):
+        def fault(index: int, needed: AccessRights):
+            return state.plain.install(index, b"", needed)
+
+        return fault
+
+    def _write_through(self, state: CompFileState) -> None:
+        """Compress the plaintext and rewrite the underlying file."""
+        plaintext = self._plaintext(state)
+        self.world.charge.compress(len(plaintext))
+        payload = pack_compressed(plaintext, self.level)
+        # The underlying set_length + write go through the file
+        # interface; in case 2 the lower layer's coherency protocol will
+        # flush/invalidate our C3 cache as part of this.  Those actions
+        # are echoes of this very write: writing_through suppresses the
+        # plaintext drop they would otherwise trigger.
+        state.writing_through = True
+        try:
+            state.under_file.set_length(len(payload))
+            state.under_file.write(0, payload)
+        finally:
+            state.writing_through = False
+        state.dirty = False
+
+    # ------------------------------------------------------------------ file ops
+    def file_read(self, state: CompFileState, offset: int, size: int) -> bytes:
+        self.world.charge.fs_read_cpu()
+        self._ensure_loaded(state)
+        recovered = state.holders.collect_latest(offset, size)
+        self._merge(state, recovered)
+        if offset >= state.plain_size:
+            return b""
+        size = min(size, state.plain_size - offset)
+        data = state.plain.read(offset, size, self._zero_fault(state))
+        self.world.charge.memcpy(size)
+        return data
+
+    def file_write(self, state: CompFileState, offset: int, data: bytes) -> int:
+        self.world.charge.fs_write_cpu()
+        self._ensure_loaded(state)
+        recovered = state.holders.acquire(
+            None, offset, len(data), AccessRights.READ_WRITE
+        )
+        self._merge(state, recovered)
+        state.plain.write(offset, data, self._zero_fault(state))
+        state.plain_size = max(state.plain_size, offset + len(data))
+        state.dirty = True
+        self.world.charge.memcpy(len(data))
+        if self.coherent:
+            self._write_through(state)
+        return len(data)
+
+    def file_set_length(self, state: CompFileState, length: int) -> None:
+        self._ensure_loaded(state)
+        if length < state.plain_size:
+            if length % PAGE_SIZE:
+                boundary = (length // PAGE_SIZE) * PAGE_SIZE
+                recovered = state.holders.acquire(
+                    None, boundary, PAGE_SIZE, AccessRights.READ_WRITE
+                )
+                self._merge(state, recovered)
+            state.holders.invalidate(length, state.plain_size - length)
+            state.plain.truncate_to(length)
+        state.plain_size = length
+        state.dirty = True
+        if self.coherent:
+            self._write_through(state)
+
+    def file_get_attributes(self, state: CompFileState) -> FileAttributes:
+        self.world.charge.fs_attr_copy()
+        self._ensure_loaded(state)
+        attrs = state.under_file.get_attributes()
+        attrs.size = state.plain_size  # plaintext view
+        return attrs
+
+    def file_sync(self, state: CompFileState) -> None:
+        if state.plain_size is not None and state.dirty:
+            self._write_through(state)
+        state.under_file.sync()
+
+    def _sync_impl(self) -> None:
+        for state in self._states.values():
+            if state.plain_size is not None and state.dirty:
+                self._write_through(state)
+
+    def _merge(self, state: CompFileState, recovered: Dict[int, bytes]) -> None:
+        for index, data in recovered.items():
+            state.plain.install(index, data, AccessRights.READ_WRITE, dirty=True)
+            state.dirty = True
+
+    # --------------------------------------------------------------- statistics
+    def space_report(self, state_or_file) -> Dict[str, int]:
+        """Plaintext vs stored (compressed) sizes for one file."""
+        state = (
+            state_or_file.state
+            if isinstance(state_or_file, CompFile)
+            else state_or_file
+        )
+        self._ensure_loaded(state)
+        return {
+            "plaintext_bytes": state.plain_size,
+            "stored_bytes": state.under_file.get_length(),
+        }
+
+    # ------------------------------------------------------------- pager hooks
+    def _pager_page_in(
+        self, source_key, pager_object, offset: int, size: int, access: AccessRights
+    ) -> bytes:
+        state = self._states_by_source[source_key]
+        self._ensure_loaded(state)
+        requester = None
+        for channel in self.channels.channels_for(source_key):
+            if channel.pager_object is pager_object:
+                requester = channel
+        recovered = state.holders.acquire(requester, offset, size, access)
+        self._merge(state, recovered)
+        if offset >= state.plain_size:
+            return b""
+        size = min(size, state.plain_size - offset)
+        return state.plain.read(offset, size, self._zero_fault(state))
+
+    def _pager_page_out(
+        self, source_key, pager_object, offset: int, size: int, data: bytes, retain
+    ) -> None:
+        state = self._states_by_source[source_key]
+        self._ensure_loaded(state)
+        for channel in self.channels.channels_for(source_key):
+            if channel.pager_object is pager_object:
+                if retain is None:
+                    state.holders.forget_range(channel, offset, size)
+                elif retain is AccessRights.READ_ONLY:
+                    state.holders.record(
+                        channel, offset, size, AccessRights.READ_ONLY
+                    )
+                else:
+                    recovered = state.holders.acquire(
+                        channel, offset, size, AccessRights.READ_WRITE
+                    )
+                    self._merge(state, recovered)
+        usable = min(size, max(0, state.plain_size - offset))
+        pages = {}
+        for i, index in enumerate(page_range(offset, usable)):
+            pages[index] = data[i * PAGE_SIZE : (i + 1) * PAGE_SIZE]
+        self._merge(state, pages)
+        if self.coherent:
+            self._write_through(state)
+
+    def _pager_attr_page_in(self, source_key, pager_object) -> FileAttributes:
+        state = self._states_by_source[source_key]
+        return self.file_get_attributes(state)
+
+    def _pager_attr_write_out(self, source_key, pager_object, attrs) -> None:
+        state = self._states_by_source[source_key]
+        self._ensure_loaded(state)
+        if attrs.size != state.plain_size:
+            self.file_set_length(state, attrs.size)
+
+    def _on_channel_closed(self, source_key, channel: Channel) -> None:
+        state = self._states_by_source.get(source_key)
+        if state is not None:
+            state.holders.drop_channel(channel)
+
+    # -------------------------------------------------- cache hooks (case 2)
+    # The lower layer invalidates/flushes our cache of the *compressed*
+    # bytes.  Plaintext is derived data: any change to the compressed
+    # image invalidates the whole plaintext cache (conservative, always
+    # correct for a whole-file compressor).  We write through, so we
+    # never hold modified compressed data — the flush/deny results are
+    # empty.
+    def _drop_plaintext(self, state: CompFileState) -> None:
+        if state.writing_through:
+            return  # echo of our own write; the plaintext is current
+        state.plain.clear()
+        state.plain_size = None
+        state.dirty = False
+        # Our clients' caches are now potentially stale too.
+        if state.holders.any_holder():
+            state.holders.invalidate(0, 2**62)
+
+    def _cache_flush_back(self, state, offset: int, size: int) -> Dict[int, bytes]:
+        self._drop_plaintext(state)
+        return {}
+
+    def _cache_deny_writes(self, state, offset: int, size: int) -> Dict[int, bytes]:
+        # We only ever hold the compressed image read-only.
+        return {}
+
+    def _cache_write_back(self, state, offset: int, size: int) -> Dict[int, bytes]:
+        return {}
+
+    def _cache_delete_range(self, state, offset: int, size: int) -> None:
+        self._drop_plaintext(state)
+
+    def _cache_zero_fill(self, state, offset: int, size: int) -> None:
+        self._drop_plaintext(state)
+
+    def _cache_populate(self, state, offset, size, access, data) -> None:
+        # Fresh compressed data pushed at us; simplest correct response
+        # is to reload lazily.
+        self._drop_plaintext(state)
+
+    def _cache_destroy(self, state) -> None:
+        self._drop_plaintext(state)
+        state.down_channel = None
+
+    def _cache_invalidate_attributes(self, state) -> None:
+        # Length lives in the compressed header; reload lazily.
+        self._drop_plaintext(state)
+
+    def _cache_write_back_attributes(self, state) -> Optional[FileAttributes]:
+        return None

@@ -1,0 +1,502 @@
+"""CRYPTFS — an encryption layer (extension).
+
+Encryption is one of the motivating extensions in the paper's
+introduction ("Examples of new functionality that may need to be added
+include compression, replication, encryption, distribution...").  Where
+COMPFS compresses whole files (variable-length output), CRYPTFS uses a
+length-preserving per-block stream cipher, so it exercises the *other*
+transform-layer shape: block-for-block mapping between the exported and
+underlying file, with per-block (not whole-file) cache invalidation.
+
+Cipher: XOR with a SHA-256-based keystream per 4 KiB block — honest
+keyed encryption for a simulator (documented as NOT cryptographically
+reviewed; the point is the layer mechanics, not the cipher).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Hashable, Optional
+
+from repro.errors import FsError
+
+from repro.ipc.invocation import operation
+from repro.ipc.narrow import narrow
+from repro.naming.context import NamingContext
+from repro.types import PAGE_SIZE, AccessRights, page_range
+from repro.vm.channel import BindResult, Channel
+from repro.vm.memory_object import CacheManager
+from repro.vm.page import PageStore
+
+from repro.fs.attributes import FileAttributes
+from repro.fs.base import BaseLayer
+from repro.fs.file import File
+from repro.fs.holders import BlockHolderTable
+
+
+def keystream(key: bytes, block_index: int, length: int = PAGE_SIZE) -> bytes:
+    """Deterministic per-block keystream: SHA-256 in counter mode."""
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        out += hashlib.sha256(
+            key + block_index.to_bytes(8, "little") + counter.to_bytes(8, "little")
+        ).digest()
+        counter += 1
+    return bytes(out[:length])
+
+
+def xor_block(data: bytes, key: bytes, block_index: int) -> bytes:
+    stream = keystream(key, block_index, len(data))
+    return bytes(a ^ b for a, b in zip(data, stream))
+
+
+class CryptFileState:
+    def __init__(self, layer: "CryptFs", under_file: File) -> None:
+        self.layer = layer
+        self.under_file = under_file
+        self.under_key = under_file.source_key
+        self.source_key: Hashable = ("cryptfs", layer.oid, self.under_key)
+        self.plain = PageStore()          # decrypted block cache
+        self.holders = BlockHolderTable()
+        self.down_channel: Optional[Channel] = None
+        #: True once the lower layer refused a writable bind (mirrorfs);
+        #: we then use the plain file interface instead of a channel.
+        self.channel_refused = False
+
+
+class CryptFile(File):
+    def __init__(self, layer: "CryptFs", state: CryptFileState) -> None:
+        super().__init__(layer.domain)
+        self.layer = layer
+        self.state = state
+        self.source_key = state.source_key
+        layer.world.charge.fs_open_state()
+
+    @operation
+    def bind(
+        self,
+        cache_manager: CacheManager,
+        requested_access: AccessRights,
+        offset: int,
+        length: int,
+    ) -> BindResult:
+        return self.layer.bind_source(
+            self.source_key,
+            cache_manager,
+            requested_access,
+            offset,
+            label=f"cryptfs:{self.state.under_key}",
+        )
+
+    @operation
+    def get_length(self) -> int:
+        return self.state.under_file.get_length()  # length-preserving
+
+    @operation
+    def set_length(self, length: int) -> None:
+        self.layer.file_set_length(self.state, length)
+
+    @operation
+    def read(self, offset: int, size: int) -> bytes:
+        return self.layer.file_read(self.state, offset, size)
+
+    @operation
+    def write(self, offset: int, data: bytes) -> int:
+        return self.layer.file_write(self.state, offset, data)
+
+    @operation
+    def get_attributes(self) -> FileAttributes:
+        self.layer.world.charge.fs_attr_copy()
+        return self.state.under_file.get_attributes()
+
+    @operation
+    def check_access(self, access: AccessRights) -> None:
+        self.layer.world.charge.fs_access_check()
+
+    @operation
+    def sync(self) -> None:
+        self.layer.file_sync(self.state)
+
+
+class CryptDirectory(NamingContext):
+    def __init__(self, layer: "CryptFs", under_context: NamingContext) -> None:
+        super().__init__(layer.domain)
+        self.layer = layer
+        self.under_context = under_context
+
+    @operation
+    def resolve(self, name: str) -> object:
+        return self.layer.wrap_resolved(self.under_context.resolve(name))
+
+    @operation
+    def bind(self, name: str, obj: object) -> None:
+        self.under_context.bind(name, obj)
+
+    @operation
+    def unbind(self, name: str) -> object:
+        self.layer.purge_named(self.under_context, name)
+        return self.under_context.unbind(name)
+
+    @operation
+    def rebind(self, name: str, obj: object) -> object:
+        return self.under_context.rebind(name, obj)
+
+    @operation
+    def list_bindings(self):
+        return [
+            (name, self.layer.wrap_resolved(obj, charge_open=False))
+            for name, obj in self.under_context.list_bindings()
+        ]
+
+    @operation
+    def create_file(self, name: str) -> File:
+        return self.layer.wrap_resolved(self.under_context.create_file(name))
+
+    @operation
+    def create_dir(self, name: str) -> "CryptDirectory":
+        return CryptDirectory(self.layer, self.under_context.create_dir(name))
+
+    @operation
+    def rename(self, old_name: str, new_name: str) -> None:
+        self.under_context.rename(old_name, new_name)
+
+
+class CryptFs(BaseLayer):
+    """Length-preserving encryption layer (coherent: maintains a C-P
+    channel to the layer below, like COMPFS case 2, but per-block)."""
+
+    max_under = 1
+
+    def __init__(self, domain, key: bytes = b"spring-cryptfs-demo-key") -> None:
+        super().__init__(domain)
+        self.key = key
+        self._states: Dict[Hashable, CryptFileState] = {}
+        self._states_by_source: Dict[Hashable, CryptFileState] = {}
+
+    def fs_type(self) -> str:
+        return "cryptfs"
+
+    # --- naming face (same wrapping pattern as the other layers) ----------
+    @operation
+    def resolve(self, name: str) -> object:
+        return self.wrap_resolved(self.under.resolve(name))
+
+    @operation
+    def bind(self, name: str, obj: object) -> None:
+        self.under.bind(name, obj)
+
+    @operation
+    def unbind(self, name: str) -> object:
+        self.purge_named(self.under, name)
+        return self.under.unbind(name)
+
+    @operation
+    def rebind(self, name: str, obj: object) -> object:
+        return self.under.rebind(name, obj)
+
+    @operation
+    def list_bindings(self):
+        return [
+            (name, self.wrap_resolved(obj, charge_open=False))
+            for name, obj in self.under.list_bindings()
+        ]
+
+    @operation
+    def create_file(self, name: str) -> File:
+        return self.wrap_resolved(self.under.create_file(name))
+
+    @operation
+    def create_dir(self, name: str) -> CryptDirectory:
+        return CryptDirectory(self, self.under.create_dir(name))
+
+    @operation
+    def rename(self, old_name: str, new_name: str) -> None:
+        self.under.rename(old_name, new_name)
+
+    # ------------------------------------------------------ unlink hygiene
+    def purge_named(self, under_context, name: str) -> None:
+        """Drop per-file state before an unlink; the freed i-node may be
+        reused and stale cached state must not leak into the new file."""
+        try:
+            obj = under_context.resolve(name)
+        except Exception:
+            return
+        under_file = narrow(obj, File)
+        if under_file is not None:
+            self._purge_state(under_file.source_key)
+
+    def _purge_state(self, under_key) -> None:
+        state = self._states.pop(under_key, None)
+        if state is None:
+            return
+        self._states_by_source.pop(state.source_key, None)
+        state.holders.invalidate(0, 2**62)
+        state.plain.clear()
+        if state.down_channel is not None and not state.down_channel.closed:
+            state.down_channel.close()
+            state.down_channel = None
+
+    def wrap_resolved(self, obj: object, charge_open: bool = True) -> object:
+        under_file = narrow(obj, File)
+        if under_file is not None:
+            if charge_open:
+                under_file.check_access(AccessRights.READ_ONLY)
+                under_file.get_attributes()
+            state = self._state_for(under_file)
+            if charge_open:
+                return CryptFile(self, state)
+            handle = object.__new__(CryptFile)
+            File.__init__(handle, self.domain)
+            handle.layer = self
+            handle.state = state
+            handle.source_key = state.source_key
+            return handle
+        under_context = narrow(obj, NamingContext)
+        if under_context is not None:
+            return CryptDirectory(self, under_context)
+        return obj
+
+    def _state_for(self, under_file: File) -> CryptFileState:
+        state = self._states.get(under_file.source_key)
+        if state is None:
+            state = CryptFileState(self, under_file)
+            self._states[state.under_key] = state
+            self._states_by_source[state.source_key] = state
+        return state
+
+    # --- data path -----------------------------------------------------------
+    def _ensure_down(self, state: CryptFileState) -> bool:
+        """Try to establish the coherency channel below.  Some layers
+        (e.g. mirrorfs) refuse writable binds; CRYPTFS then degrades to
+        plain file-interface access — still correct, just without the
+        lower layer's coherency actions reaching our plaintext cache."""
+        if state.down_channel is not None and not state.down_channel.closed:
+            return True
+        if state.channel_refused:
+            return False
+        try:
+            state.down_channel = self.bind_below(
+                state, state.under_file, AccessRights.READ_WRITE
+            )
+            return True
+        except FsError:
+            state.channel_refused = True
+            self.world.counters.inc("cryptfs.bind_refused")
+            return False
+
+    def _page_in_under(
+        self, state: CryptFileState, index: int, access: AccessRights
+    ) -> bytes:
+        if self._ensure_down(state):
+            return state.down_channel.pager_object.page_in(
+                index * PAGE_SIZE, PAGE_SIZE, access
+            )
+        return state.under_file.read(index * PAGE_SIZE, PAGE_SIZE)
+
+    def _page_push_under(self, state: CryptFileState, index: int, data: bytes) -> None:
+        if self._ensure_down(state):
+            state.down_channel.pager_object.sync(index * PAGE_SIZE, PAGE_SIZE, data)
+        else:
+            size = state.under_file.get_length()
+            usable = min(PAGE_SIZE, max(0, size - index * PAGE_SIZE))
+            if usable:
+                state.under_file.write(index * PAGE_SIZE, data[:usable])
+
+    def _fault_decrypt(self, state: CryptFileState, access: AccessRights):
+        def fault(index: int, needed: AccessRights):
+            effective = access if access.writable else needed
+            ciphertext = self._page_in_under(state, index, effective)
+            self.world.charge.decrypt(len(ciphertext))
+            plaintext = xor_block(ciphertext, self.key, index)
+            return state.plain.install(index, plaintext, effective)
+
+        return fault
+
+    def file_read(self, state: CryptFileState, offset: int, size: int) -> bytes:
+        self.world.charge.fs_read_cpu()
+        file_size = state.under_file.get_length()
+        if offset >= file_size:
+            return b""
+        size = min(size, file_size - offset)
+        recovered = state.holders.collect_latest(offset, size)
+        self._merge(state, recovered)
+        data = state.plain.read(
+            offset, size, self._fault_decrypt(state, AccessRights.READ_ONLY)
+        )
+        self.world.charge.memcpy(size)
+        return data
+
+    def _extend(self, state: CryptFileState, old: int, new: int) -> None:
+        """Grow the underlying file and make the new range read as
+        plaintext zeros.  The hole the extension creates underneath is
+        raw zeros — NOT valid ciphertext — so zero plaintext pages are
+        recorded dirty and real encrypted zeros go down on flush."""
+        state.under_file.set_length(new)
+        first = old // PAGE_SIZE
+        last = (new - 1) // PAGE_SIZE
+        for index in range(first, last + 1):
+            page_start = index * PAGE_SIZE
+            if page_start >= old:
+                state.plain.install(
+                    index, b"", AccessRights.READ_WRITE, dirty=True
+                )
+            else:
+                page = state.plain.get(index)
+                if page is None:
+                    page = self._fault_decrypt(state, AccessRights.READ_WRITE)(
+                        index, AccessRights.READ_WRITE
+                    )
+                within = old - page_start
+                page.data[within:] = bytes(PAGE_SIZE - within)
+                page.dirty = True
+
+    def file_write(self, state: CryptFileState, offset: int, data: bytes) -> int:
+        self.world.charge.fs_write_cpu()
+        recovered = state.holders.acquire(
+            None, offset, len(data), AccessRights.READ_WRITE
+        )
+        self._merge(state, recovered)
+        end = offset + len(data)
+        old = state.under_file.get_length()
+        if end > old:
+            self._extend(state, old, end)
+        state.plain.write(
+            offset, data, self._fault_decrypt(state, AccessRights.READ_WRITE)
+        )
+        self.world.charge.memcpy(len(data))
+        self._flush_range(state, offset, len(data))
+        return len(data)
+
+    def _flush_range(self, state: CryptFileState, offset: int, size: int) -> None:
+        """Write-through: encrypt and push the touched blocks below."""
+        for index in page_range(offset, size):
+            page = state.plain.get(index)
+            if page is None or not page.dirty:
+                continue
+            self.world.charge.encrypt(PAGE_SIZE)
+            ciphertext = xor_block(page.snapshot(), self.key, index)
+            self._page_push_under(state, index, ciphertext)
+            page.dirty = False
+
+    def file_set_length(self, state: CryptFileState, length: int) -> None:
+        old = state.under_file.get_length()
+        if length < old:
+            if length % PAGE_SIZE:
+                boundary = (length // PAGE_SIZE) * PAGE_SIZE
+                recovered = state.holders.acquire(
+                    None, boundary, PAGE_SIZE, AccessRights.READ_WRITE
+                )
+                self._merge(state, recovered)
+            state.holders.invalidate(length, old - length)
+            state.plain.truncate_to(length)
+            state.under_file.set_length(length)
+        elif length > old:
+            self._extend(state, old, length)
+
+    def file_sync(self, state: CryptFileState) -> None:
+        self._flush_range(state, 0, state.under_file.get_length())
+        state.under_file.sync()
+
+    def _sync_impl(self) -> None:
+        for state in self._states.values():
+            self._flush_range(state, 0, state.under_file.get_length())
+
+    def _merge(self, state: CryptFileState, recovered: Dict[int, bytes]) -> None:
+        if not recovered:
+            return
+        for index, data in recovered.items():
+            state.plain.install(index, data, AccessRights.READ_WRITE, dirty=True)
+        first = min(recovered)
+        last = max(recovered)
+        self._flush_range(
+            state, first * PAGE_SIZE, (last - first + 1) * PAGE_SIZE
+        )
+
+    # --- pager hooks (clients of file_CRYPT) ----------------------------------
+    def _pager_page_in(
+        self, source_key, pager_object, offset: int, size: int, access: AccessRights
+    ) -> bytes:
+        state = self._states_by_source[source_key]
+        requester = None
+        for channel in self.channels.channels_for(source_key):
+            if channel.pager_object is pager_object:
+                requester = channel
+        recovered = state.holders.acquire(requester, offset, size, access)
+        self._merge(state, recovered)
+        return state.plain.read(offset, size, self._fault_decrypt(state, access))
+
+    def _pager_page_out(
+        self, source_key, pager_object, offset: int, size: int, data: bytes, retain
+    ) -> None:
+        state = self._states_by_source[source_key]
+        for channel in self.channels.channels_for(source_key):
+            if channel.pager_object is pager_object:
+                if retain is None:
+                    state.holders.forget_range(channel, offset, size)
+                elif retain is AccessRights.READ_ONLY:
+                    state.holders.record(
+                        channel, offset, size, AccessRights.READ_ONLY
+                    )
+        pages = {
+            index: data[i * PAGE_SIZE : (i + 1) * PAGE_SIZE]
+            for i, index in enumerate(page_range(offset, size))
+        }
+        self._merge(state, pages)
+
+    def _pager_attr_page_in(self, source_key, pager_object) -> FileAttributes:
+        state = self._states_by_source[source_key]
+        return state.under_file.get_attributes()
+
+    def _pager_attr_write_out(self, source_key, pager_object, attrs) -> None:
+        state = self._states_by_source[source_key]
+        if attrs.size != state.under_file.get_length():
+            self.file_set_length(state, attrs.size)
+
+    def _on_channel_closed(self, source_key, channel: Channel) -> None:
+        state = self._states_by_source.get(source_key)
+        if state is not None:
+            state.holders.drop_channel(channel)
+
+    # --- cache hooks (from below): per-block invalidation ----------------------
+    def _cache_flush_back(self, state, offset: int, size: int) -> Dict[int, bytes]:
+        state.holders.invalidate(offset, size)
+        state.plain.drop_range(offset, size)
+        return {}  # write-through: nothing modified held here
+
+    def _cache_deny_writes(self, state, offset: int, size: int) -> Dict[int, bytes]:
+        state.plain.downgrade_range(offset, size)
+        return {}
+
+    def _cache_write_back(self, state, offset: int, size: int) -> Dict[int, bytes]:
+        return {}
+
+    def _cache_delete_range(self, state, offset: int, size: int) -> None:
+        state.holders.invalidate(offset, size)
+        self._drop_clean(state, offset, size)
+
+    def _drop_clean(self, state, offset: int, size: int) -> None:
+        """Drop cached plaintext in the range — but never dirty pages:
+        locally modified data supersedes any external invalidation and
+        will be re-encrypted over it on the next flush."""
+        for index, page in state.plain.drop_range(offset, size):
+            if page.dirty:
+                state.plain._pages[index] = page
+
+    def _cache_zero_fill(self, state, offset: int, size: int) -> None:
+        state.holders.invalidate(offset, size)
+        self._drop_clean(state, offset, size)
+
+    def _cache_populate(self, state, offset, size, access, data) -> None:
+        state.holders.invalidate(offset, size)
+        self._drop_clean(state, offset, size)
+
+    def _cache_destroy(self, state) -> None:
+        state.plain.clear()
+        state.down_channel = None
+
+    def _cache_invalidate_attributes(self, state) -> None:
+        pass  # attributes are not cached by this layer
+
+    def _cache_write_back_attributes(self, state) -> Optional[FileAttributes]:
+        return None

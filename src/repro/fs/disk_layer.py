@@ -1,0 +1,313 @@
+"""The disk layer — the base, non-coherent on-disk file system.
+
+Figure 10: Spring SFS is two layers; this is the bottom one.  "The base
+disk layer implements an on-disk UFS-compatible file system.  It does
+not, however, implement a coherency algorithm."  Accordingly:
+
+* it is a pager: clients (normally exactly one coherency layer) page in
+  and out of it, and every data access really hits the device;
+* it performs **no** coherency actions between its channels — two
+  independent cache managers binding the same disk file will happily
+  diverge (the coherency layer exists to prevent that, sec. 6.3);
+* it maintains its own i-node/dentry cache, so open and stat need no
+  disk I/O (sec. 6.4 table notes).
+
+Files and directories are addressed by i-node through a mounted
+:class:`repro.storage.volume.Volume`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.errors import (
+    FsError,
+    IsADirectoryError_,
+    NotADirectoryError_,
+    ReadOnlyError,
+    StaleFileError,
+)
+from repro.ipc.invocation import operation
+from repro.naming import name as names
+from repro.naming.context import NamingContext
+from repro.storage.block_device import BlockDevice
+from repro.storage.inode import FileType
+from repro.storage.volume import Volume
+from repro.types import AccessRights
+from repro.vm.channel import BindResult
+from repro.vm.memory_object import CacheManager
+
+from repro.fs.attributes import FileAttributes
+from repro.fs.base import BaseLayer
+from repro.fs.file import File
+
+
+class DiskFile(File):
+    """An open handle to one on-disk file (per-open state)."""
+
+    def __init__(self, layer: "DiskLayer", ino: int) -> None:
+        super().__init__(layer.domain)
+        self.layer = layer
+        self.ino = ino
+        self.source_key: Hashable = ("disk", layer.oid, ino)
+        layer.world.charge.fs_open_state()
+
+    # --- memory_object ------------------------------------------------------
+    @operation
+    def bind(
+        self,
+        cache_manager: CacheManager,
+        requested_access: AccessRights,
+        offset: int,
+        length: int,
+    ) -> BindResult:
+        return self.layer.bind_source(
+            self.source_key,
+            cache_manager,
+            requested_access,
+            offset,
+            label=f"disk:ino{self.ino}",
+        )
+
+    @operation
+    def get_length(self) -> int:
+        return self.layer.volume.iget(self.ino).size
+
+    @operation
+    def set_length(self, length: int) -> None:
+        self.layer.volume.truncate(self.ino, length)
+
+    # --- file ------------------------------------------------------------------
+    @operation
+    def read(self, offset: int, size: int) -> bytes:
+        world = self.layer.world
+        world.charge.fs_read_cpu()
+        data = self.layer.volume.read_data(self.ino, offset, size)
+        world.charge.memcpy(len(data))
+        return data
+
+    @operation
+    def write(self, offset: int, data: bytes) -> int:
+        world = self.layer.world
+        world.charge.fs_write_cpu()
+        world.charge.memcpy(len(data))
+        self.layer.volume.write_data(self.ino, offset, data)
+        return len(data)
+
+    @operation
+    def get_attributes(self) -> FileAttributes:
+        self.layer.world.charge.fs_attr_copy()
+        return FileAttributes.from_inode(self.layer.volume.iget(self.ino))
+
+    @operation
+    def check_access(self, access: AccessRights) -> None:
+        self.layer.world.charge.fs_access_check()
+        inode = self.layer.volume.iget(self.ino)  # raises if freed
+        if inode.is_dir and access.writable:
+            raise IsADirectoryError_("cannot open a directory for writing")
+
+    @operation
+    def sync(self) -> None:
+        self.layer.volume.sync()
+
+
+class DiskDirectory(NamingContext):
+    """A directory exported as a naming context.
+
+    Name resolution is the real thing: component-by-component through
+    the volume's dentry cache, with directory data read from disk on
+    cold lookups.
+    """
+
+    def __init__(self, layer: "DiskLayer", dir_ino: int) -> None:
+        super().__init__(layer.domain)
+        self.layer = layer
+        self.dir_ino = dir_ino
+
+    # --- helpers (shared with DiskLayer's root-context face) --------------------
+    def _resolve_from(self, dir_ino: int, name: str) -> object:
+        layer = self.layer
+        components = names.split_name(name)
+        current = dir_ino
+        for component in components[:-1]:
+            layer.world.charge.fs_resolve()
+            current = layer.volume.lookup(current, component)
+            if not layer.volume.iget(current).is_dir:
+                raise NotADirectoryError_(f"{component!r} is not a directory")
+        layer.world.charge.fs_resolve()
+        ino = layer.volume.lookup(current, components[-1])
+        return layer.make_object(ino)
+
+    def _list_from(self, dir_ino: int) -> List[Tuple[str, object]]:
+        layer = self.layer
+        return [
+            (entry_name, layer.make_object(ino, charge_open=False))
+            for entry_name, ino in sorted(layer.volume.readdir(dir_ino).items())
+        ]
+
+    # --- naming_context ----------------------------------------------------------
+    @operation
+    def resolve(self, name: str) -> object:
+        return self._resolve_from(self.dir_ino, name)
+
+    @operation
+    def bind(self, name: str, obj: object) -> None:
+        raise FsError(
+            "disk directories hold files, not arbitrary bindings; "
+            "use create_file/create_dir"
+        )
+
+    @operation
+    def unbind(self, name: str) -> object:
+        """Unlink.  Returns a handle to the (possibly now free) file."""
+        names.validate_component(name)
+        ino = self.layer.volume.lookup(self.dir_ino, name)
+        obj = self.layer.make_object(ino, charge_open=False)
+        self.layer.volume.unlink(self.dir_ino, name)
+        return obj
+
+    @operation
+    def rebind(self, name: str, obj: object) -> object:
+        raise FsError("disk directories do not support rebind")
+
+    @operation
+    def list_bindings(self) -> List[Tuple[str, object]]:
+        return self._list_from(self.dir_ino)
+
+    # --- file management ------------------------------------------------------------
+    @operation
+    def create_file(self, name: str) -> File:
+        names.validate_component(name)
+        inode = self.layer.volume.create(self.dir_ino, name, FileType.REGULAR)
+        return self.layer.make_object(inode.ino)
+
+    @operation
+    def create_dir(self, name: str) -> "DiskDirectory":
+        names.validate_component(name)
+        inode = self.layer.volume.create(self.dir_ino, name, FileType.DIRECTORY)
+        return DiskDirectory(self.layer, inode.ino)
+
+    @operation
+    def rename(self, old_name: str, new_name: str) -> None:
+        self.layer.volume.rename(self.dir_ino, old_name, self.dir_ino, new_name)
+
+
+class DiskLayer(BaseLayer):
+    """The stackable_fs face of one mounted volume.
+
+    The layer itself doubles as the volume's root directory context, so
+    binding the layer into the name space exposes its whole tree.
+    """
+
+    max_under = 0
+
+    def __init__(self, domain, device: BlockDevice, format_device: bool = False):
+        super().__init__(domain)
+        if format_device:
+            self.volume = Volume.mkfs(device)
+        else:
+            self.volume = Volume.mount(device)
+        self.device = device
+        self._root = DiskDirectory(self, self.volume.sb.root_ino)
+
+    def fs_type(self) -> str:
+        return "disk"
+
+    def make_object(self, ino: int, charge_open: bool = True) -> object:
+        """Materialize a handle for an i-node: DiskFile or DiskDirectory."""
+        inode = self.volume.iget(ino)
+        if inode.is_dir:
+            return DiskDirectory(self, ino)
+        if charge_open:
+            return DiskFile(self, ino)
+        # Listing should not pay open-state cost; build the handle without
+        # the charge by bypassing DiskFile.__init__'s accounting.
+        handle = object.__new__(DiskFile)
+        File.__init__(handle, self.domain)
+        handle.layer = self
+        handle.ino = ino
+        handle.source_key = ("disk", self.oid, ino)
+        return handle
+
+    # --- root-context face: delegate to the root DiskDirectory -----------------------
+    @operation
+    def resolve(self, name: str) -> object:
+        return self._root._resolve_from(self._root.dir_ino, name)
+
+    @operation
+    def bind(self, name: str, obj: object) -> None:
+        raise FsError("disk layer root holds files; use create_file/create_dir")
+
+    @operation
+    def unbind(self, name: str) -> object:
+        return self._root.unbind(name)
+
+    @operation
+    def rebind(self, name: str, obj: object) -> object:
+        raise FsError("disk layer root does not support rebind")
+
+    @operation
+    def list_bindings(self) -> List[Tuple[str, object]]:
+        return self._root._list_from(self._root.dir_ino)
+
+    @operation
+    def create_file(self, name: str) -> File:
+        return self._root.create_file(name)
+
+    @operation
+    def create_dir(self, name: str) -> DiskDirectory:
+        return self._root.create_dir(name)
+
+    @operation
+    def rename(self, old_name: str, new_name: str) -> None:
+        self._root.rename(old_name, new_name)
+
+    # --- pager hooks ------------------------------------------------------------------
+    def _ino_of(self, source_key: Hashable) -> int:
+        return source_key[2]  # ("disk", layer oid, ino)
+
+    def _pager_page_in(
+        self, source_key, pager_object, offset: int, size: int, access: AccessRights
+    ) -> bytes:
+        # Non-coherent by design: no actions against other channels.
+        return self.volume.read_data(self._ino_of(source_key), offset, size)
+
+    def _pager_page_in_range(
+        self, source_key, pager_object, offset, min_size, max_size, access
+    ) -> bytes:
+        """Clustering: serve as much of [min, max] as one pass of
+        contiguous multi-block transfers provides — the paper sec. 8
+        'return more data than strictly needed' opportunity."""
+        data = self.volume.read_data_clustered(
+            self._ino_of(source_key), offset, max_size
+        )
+        if len(data) >= min_size:
+            return data
+        # Short of the minimum only at EOF; read_data pads nothing, so
+        # return what exists (callers zero-pad pages).
+        return data
+
+    def _pager_page_out(
+        self, source_key, pager_object, offset: int, size: int, data: bytes, retain
+    ) -> None:
+        # Page-outs arrive page-padded; never let padding extend the file.
+        # Cache managers push attributes (the authoritative length) before
+        # data, so clamping to the current i-node size is correct.
+        ino = self._ino_of(source_key)
+        file_size = self.volume.iget(ino).size
+        usable = min(size, len(data), max(0, file_size - offset))
+        if usable > 0:
+            self.volume.write_data(ino, offset, data[:usable])
+
+    def _pager_attr_page_in(self, source_key, pager_object) -> FileAttributes:
+        return FileAttributes.from_inode(self.volume.iget(self._ino_of(source_key)))
+
+    def _pager_attr_write_out(self, source_key, pager_object, attrs) -> None:
+        ino = self._ino_of(source_key)
+        inode = self.volume.iget(ino)
+        attrs.apply_to_inode(inode)
+        self.volume.mark_dirty(ino)
+
+    # --- fs ------------------------------------------------------------------------------
+    def _sync_impl(self) -> None:
+        self.volume.sync()

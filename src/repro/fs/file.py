@@ -1,0 +1,44 @@
+"""The file interface.
+
+"The file interface in Spring inherits from the memory object interface"
+(paper sec. 3.3.1) and "provides file read/write operations (but not
+page-in/page-out operations)" (Table 1).  Every layer exports files that
+conform to this interface, which is why clients see any stack as just a
+file system.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+from repro.vm.memory_object import MemoryObject
+
+if TYPE_CHECKING:
+    from repro.fs.attributes import FileAttributes
+
+
+class File(MemoryObject, abc.ABC):
+    """A file: mappable store plus read/write and attribute operations."""
+
+    @abc.abstractmethod
+    def read(self, offset: int, size: int) -> bytes:
+        """Read up to ``size`` bytes at ``offset`` (short at EOF)."""
+
+    @abc.abstractmethod
+    def write(self, offset: int, data: bytes) -> int:
+        """Write ``data`` at ``offset``; returns bytes written."""
+
+    @abc.abstractmethod
+    def get_attributes(self) -> "FileAttributes":
+        """The stat operation."""
+
+    @abc.abstractmethod
+    def check_access(self, access) -> None:
+        """Verify the caller may use the file with ``access``; raises
+        :class:`repro.errors.PermissionDeniedError` otherwise.  Called by
+        upper layers while building their open state."""
+
+    @abc.abstractmethod
+    def sync(self) -> None:
+        """Push cached data and attributes toward stable storage."""

@@ -1,0 +1,73 @@
+"""The file system interface hierarchy (paper Figure 8).
+
+::
+
+    fs        naming_context
+      \\          /
+      stackable_fs          stackable_fs_creator
+
+A ``stackable_fs`` is both a file system and a naming context, so an
+instance can be bound into the name space directly and its files
+resolved through it.  Creators are registered under ``/fs_creators`` and
+used by administrators to instantiate layers (paper sec. 4.4).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List
+
+from repro.ipc.invocation import operation
+from repro.ipc.object import SpringObject
+from repro.naming.context import NamingContext
+
+
+class Fs(SpringObject, abc.ABC):
+    """The base file system interface."""
+
+    @abc.abstractmethod
+    def fs_type(self) -> str:
+        """Short type tag, e.g. ``"sfs"``, ``"compfs"``."""
+
+    @abc.abstractmethod
+    def sync_fs(self) -> None:
+        """Flush everything this file system caches toward storage."""
+
+
+class StackableFs(Fs, NamingContext, abc.ABC):
+    """A file system that can be composed on top of other file systems.
+
+    ``stack_on`` may be called more than once — "the maximum number of
+    file systems a particular layer may be stacked on is implementation
+    dependent" (sec. 4.4); mirroring layers use two.
+    """
+
+    @abc.abstractmethod
+    def stack_on(self, underlying: "StackableFs") -> None:
+        """Attach this (not yet active) layer on top of ``underlying``."""
+
+    @abc.abstractmethod
+    def under_layers(self) -> List["StackableFs"]:
+        """The file systems this layer is stacked on (possibly empty for
+        base file systems)."""
+
+
+class StackableFsCreator(SpringObject, abc.ABC):
+    """Factory for instances of one file system type (paper sec. 4.4).
+
+    "When a file system creator is started, it registers itself in a
+    well-known place e.g. /fs_creators/dfs_creator."
+    """
+
+    @abc.abstractmethod
+    def create(self) -> StackableFs:
+        """Return a fresh, unstacked instance of the file system type."""
+
+    @operation
+    def creator_type(self) -> str:
+        """Type tag of the file systems this creator makes."""
+        return self.create_type_tag()
+
+    def create_type_tag(self) -> str:
+        """Overridable non-operation helper for creator_type."""
+        return "unknown"

@@ -1,0 +1,269 @@
+"""Per-block holder tracking — the heart of the coherency protocol.
+
+"The implementation keeps track of the state of each file block
+(read-only vs. read-write) and of each cache object that holds the block
+at any point in time.  Coherency actions are triggered depending on the
+state and the current request using a single-writer/multiple-reader
+per-block coherency algorithm." (paper sec. 6.2)
+
+A :class:`BlockHolderTable` records, for one file, which upstream
+channels hold which blocks in which mode, and performs the fan-out of
+coherency actions (deny_writes / flush_back / write_back / delete_range)
+against the holders' cache objects.  It is reused by every pager that
+maintains coherency: the coherency layer, DFS, and the monolithic SFS.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.types import PAGE_SIZE, AccessRights, page_range
+from repro.vm.channel import Channel
+
+
+class BlockHolderTable:
+    """MRSW state for the blocks of one file across client channels."""
+
+    def __init__(self) -> None:
+        #: page index -> {channel cache-object oid -> (channel, rights)}
+        self._holders: Dict[int, Dict[int, Tuple[Channel, AccessRights]]] = {}
+
+    def _tracked_pages(self, offset: int, size: int) -> List[int]:
+        """Pages we actually track that intersect the byte range.  Ranges
+        may be huge ('whole file': size 2**62), so never iterate the raw
+        page range — only the tracked keys."""
+        if size <= 0:
+            return []
+        first = offset // PAGE_SIZE
+        last = (offset + size - 1) // PAGE_SIZE
+        return [p for p in self._holders if first <= p <= last]
+
+    # --- bookkeeping -----------------------------------------------------
+    def record(
+        self, channel: Channel, offset: int, size: int, access: AccessRights
+    ) -> None:
+        """Note that ``channel`` now holds the range with ``access``.
+
+        Unlike the query paths, recording really touches every page in
+        the range — callers pass real transfer sizes here.
+        """
+        for page in page_range(offset, size):
+            self._holders.setdefault(page, {})[channel.cache_object.oid] = (
+                channel,
+                access,
+            )
+
+    def forget_range(self, channel: Channel, offset: int, size: int) -> None:
+        for page in self._tracked_pages(offset, size):
+            self._holders[page].pop(channel.cache_object.oid, None)
+
+    def drop_channel(self, channel: Channel) -> None:
+        for holders in self._holders.values():
+            holders.pop(channel.cache_object.oid, None)
+
+    def holders_of(self, page: int) -> List[Tuple[Channel, AccessRights]]:
+        return list(self._holders.get(page, {}).values())
+
+    def writer_of(self, page: int) -> Optional[Channel]:
+        for channel, rights in self.holders_of(page):
+            if rights.writable:
+                return channel
+        return None
+
+    def any_holder(self) -> bool:
+        return any(self._holders.values())
+
+    # --- coherency actions ------------------------------------------------
+    def _conflicting_channels(
+        self, offset: int, size: int, access: AccessRights, exclude_oid: Optional[int]
+    ) -> Dict[int, Tuple[Channel, AccessRights]]:
+        """Channels that must be acted on before granting ``access`` over
+        the range: every other holder for a write request, every other
+        *writer* for a read request."""
+        conflicts: Dict[int, Tuple[Channel, AccessRights]] = {}
+        for page in self._tracked_pages(offset, size):
+            for oid, (channel, rights) in self._holders[page].items():
+                if oid == exclude_oid or channel.closed:
+                    continue
+                if access.writable or rights.writable:
+                    # Keep the strongest conflicting mode we have seen.
+                    previous = conflicts.get(oid)
+                    if previous is None or rights.writable:
+                        conflicts[oid] = (channel, rights)
+        return conflicts
+
+    def acquire(
+        self,
+        requester: Optional[Channel],
+        offset: int,
+        size: int,
+        access: AccessRights,
+    ) -> Dict[int, bytes]:
+        """Make it legal for ``requester`` (or the pager itself, when
+        None) to hold ``[offset, offset+size)`` with ``access``.
+
+        Read requests downgrade conflicting writers (deny_writes); write
+        requests flush every other holder (flush_back).  Returns the
+        modified data recovered from holders, keyed by page index — the
+        caller must merge it into its authoritative copy *before* serving
+        the request.
+        """
+        exclude = requester.cache_object.oid if requester is not None else None
+        recovered: Dict[int, bytes] = {}
+        for oid, (channel, rights) in self._conflicting_channels(
+            offset, size, access, exclude
+        ).items():
+            if access.writable:
+                modified = channel.cache_object.flush_back(offset, size)
+                self._forget_holder_range(oid, offset, size)
+            else:
+                modified = channel.cache_object.deny_writes(offset, size)
+                self._downgrade_holder_range(oid, offset, size)
+            recovered.update(modified)
+        if requester is not None:
+            self.record(requester, offset, size, access)
+        return recovered
+
+    def collect_latest(self, offset: int, size: int) -> Dict[int, bytes]:
+        """Pull current modified data from writers without changing their
+        mode (write_back) — used when the pager itself needs to *read*
+        data that an upstream cache may have dirtied."""
+        recovered: Dict[int, bytes] = {}
+        seen: set = set()
+        for page in self._tracked_pages(offset, size):
+            for oid, (channel, rights) in self._holders[page].items():
+                if rights.writable and oid not in seen and not channel.closed:
+                    seen.add(oid)
+                    recovered.update(channel.cache_object.write_back(offset, size))
+        return recovered
+
+    def invalidate(
+        self, offset: int, size: int, exclude: Optional[Channel] = None
+    ) -> None:
+        """delete_range on every holder (e.g. after a truncate)."""
+        exclude_oid = exclude.cache_object.oid if exclude is not None else None
+        notified: set = set()
+        for page in self._tracked_pages(offset, size):
+            holders = self._holders[page]
+            for oid, (channel, _) in list(holders.items()):
+                if oid == exclude_oid:
+                    continue
+                if oid not in notified and not channel.closed:
+                    notified.add(oid)
+                    channel.cache_object.delete_range(offset, size)
+                holders.pop(oid, None)
+
+    # --- internals --------------------------------------------------------
+    def _forget_holder_range(self, oid: int, offset: int, size: int) -> None:
+        for page in self._tracked_pages(offset, size):
+            self._holders[page].pop(oid, None)
+
+    def _downgrade_holder_range(self, oid: int, offset: int, size: int) -> None:
+        for page in self._tracked_pages(offset, size):
+            holders = self._holders[page]
+            if oid in holders:
+                channel, _ = holders[oid]
+                holders[oid] = (channel, AccessRights.READ_ONLY)
+
+
+#: "Whole file" for the coarse protocol's coherency actions.
+WHOLE_FILE = 2**62
+
+
+class WholeFileHolderTable:
+    """The coarse alternative protocol: whole-file multiple-reader /
+    single-writer.
+
+    The paper's architecture deliberately does not fix the protocol
+    ("pagers are free to implement whatever coherency protocol they
+    wish", sec. 3.3.3); its production choice is per-block
+    (:class:`BlockHolderTable`).  This implementation tracks one state
+    per *file* instead: any write conflict flushes a holder's entire
+    cache of the file.  Correct, simpler, and pathological under false
+    sharing — which `benchmarks/bench_ablation_protocol.py` measures.
+
+    Implements the same interface as :class:`BlockHolderTable`.
+    """
+
+    def __init__(self) -> None:
+        #: cache-object oid -> (channel, rights) — one entry per holder.
+        self._holders: Dict[int, Tuple[Channel, AccessRights]] = {}
+
+    # --- bookkeeping -----------------------------------------------------
+    def record(
+        self, channel: Channel, offset: int, size: int, access: AccessRights
+    ) -> None:
+        oid = channel.cache_object.oid
+        previous = self._holders.get(oid)
+        if previous is not None and previous[1].writable:
+            access = AccessRights.READ_WRITE  # never silently downgrade
+        self._holders[oid] = (channel, access)
+
+    def forget_range(self, channel: Channel, offset: int, size: int) -> None:
+        # Coarse protocol: giving up any of the file gives up all of it.
+        self._holders.pop(channel.cache_object.oid, None)
+
+    def drop_channel(self, channel: Channel) -> None:
+        self._holders.pop(channel.cache_object.oid, None)
+
+    def holders_of(self, page: int) -> List[Tuple[Channel, AccessRights]]:
+        return list(self._holders.values())
+
+    def writer_of(self, page: int) -> Optional[Channel]:
+        for channel, rights in self._holders.values():
+            if rights.writable:
+                return channel
+        return None
+
+    def any_holder(self) -> bool:
+        return bool(self._holders)
+
+    # --- coherency actions ------------------------------------------------
+    def acquire(
+        self,
+        requester: Optional[Channel],
+        offset: int,
+        size: int,
+        access: AccessRights,
+    ) -> Dict[int, bytes]:
+        exclude = requester.cache_object.oid if requester is not None else None
+        recovered: Dict[int, bytes] = {}
+        for oid, (channel, rights) in list(self._holders.items()):
+            if oid == exclude or channel.closed:
+                continue
+            if access.writable:
+                recovered.update(channel.cache_object.flush_back(0, WHOLE_FILE))
+                del self._holders[oid]
+            elif rights.writable:
+                recovered.update(channel.cache_object.deny_writes(0, WHOLE_FILE))
+                self._holders[oid] = (channel, AccessRights.READ_ONLY)
+        if requester is not None:
+            self.record(requester, offset, size, access)
+        return recovered
+
+    def collect_latest(self, offset: int, size: int) -> Dict[int, bytes]:
+        recovered: Dict[int, bytes] = {}
+        for oid, (channel, rights) in self._holders.items():
+            if rights.writable and not channel.closed:
+                recovered.update(channel.cache_object.write_back(0, WHOLE_FILE))
+        return recovered
+
+    def invalidate(
+        self, offset: int, size: int, exclude: Optional[Channel] = None
+    ) -> None:
+        exclude_oid = exclude.cache_object.oid if exclude is not None else None
+        for oid, (channel, _) in list(self._holders.items()):
+            if oid == exclude_oid:
+                continue
+            if not channel.closed:
+                channel.cache_object.delete_range(0, WHOLE_FILE)
+            del self._holders[oid]
+
+
+def make_holder_table(protocol: str):
+    """Factory for the pluggable coherency policy."""
+    if protocol == "per_block":
+        return BlockHolderTable()
+    if protocol == "whole_file":
+        return WholeFileHolderTable()
+    raise ValueError(f"unknown coherency protocol {protocol!r}")

@@ -1,0 +1,85 @@
+"""Spring SFS — the storage file system (paper Figure 10).
+
+"The Spring storage file system is actually implemented using two layers
+... The base disk layer implements an on-disk UFS compatible file
+system.  It does not, however, implement a coherency algorithm.
+Instead, an instance of the coherency layer is stacked on the disk
+layer, and all files are exported via the coherency layer."
+
+This module assembles the three configurations Table 2 benchmarks:
+
+* ``not_stacked``  — :class:`~repro.fs.monolithic.MonolithicSfs`;
+* ``one_domain``   — coherency layer stacked on disk layer, both in one
+  server domain (object invocations become local procedure calls);
+* ``two_domains``  — each layer in its own domain (the paper's
+  production choice: the disk layer can be locked in physical memory
+  while the larger coherency-layer state stays pageable).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.errors import StackingError
+from repro.ipc.domain import Credentials, Domain
+from repro.ipc.node import Node
+from repro.storage.block_device import BlockDevice
+
+from repro.fs.coherency import CoherencyLayer
+from repro.fs.disk_layer import DiskLayer
+from repro.fs.fs_interfaces import StackableFs
+from repro.fs.monolithic import MonolithicSfs
+
+PLACEMENTS = ("not_stacked", "one_domain", "two_domains")
+
+
+@dataclasses.dataclass
+class SfsStack:
+    """One assembled SFS and its constituent layers (for introspection
+    by benchmarks and figure reproductions)."""
+
+    top: StackableFs
+    disk_layer: Optional[DiskLayer]
+    coherency_layer: Optional[CoherencyLayer]
+    placement: str
+
+
+def _server_domain(node: Node, name: str) -> Domain:
+    return node.create_domain(name, Credentials(name, privileged=True))
+
+
+def create_sfs(
+    node: Node,
+    device: BlockDevice,
+    placement: str = "two_domains",
+    cache: bool = True,
+    format_device: bool = True,
+    name: str = "sfs",
+) -> SfsStack:
+    """Build an SFS over ``device`` in the requested placement and bind
+    it at ``/fs/<name>`` on the node."""
+    if placement not in PLACEMENTS:
+        raise StackingError(
+            f"unknown placement {placement!r}; expected one of {PLACEMENTS}"
+        )
+    if placement == "not_stacked":
+        domain = _server_domain(node, f"{name}-server")
+        mono = MonolithicSfs(domain, device, format_device=format_device, cache=cache)
+        node.fs_context.bind(name, mono)
+        return SfsStack(mono, None, None, placement)
+
+    if placement == "one_domain":
+        domain = _server_domain(node, f"{name}-server")
+        disk_domain = coherency_domain = domain
+    else:
+        disk_domain = _server_domain(node, f"{name}-disk")
+        coherency_domain = _server_domain(node, f"{name}-coherency")
+
+    disk = DiskLayer(disk_domain, device, format_device=format_device)
+    coherency = CoherencyLayer(coherency_domain, cache=cache)
+    coherency.stack_on(disk)
+    # Administrative decision (sec. 4.4): export only the coherency layer;
+    # the raw disk layer is reachable only by the coherency layer itself.
+    node.fs_context.bind(name, coherency)
+    return SfsStack(coherency, disk, coherency, placement)

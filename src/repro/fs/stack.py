@@ -1,0 +1,58 @@
+"""Stack introspection helpers.
+
+Used by the figure reproductions to print/verify the shape of a
+configuration (Figure 3/9/10 style diagrams) and by tests to assert on
+layer placement.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.fs.fs_interfaces import StackableFs
+
+
+def stack_layers(top: StackableFs) -> List[StackableFs]:
+    """All layers reachable from ``top``, depth-first, top first."""
+    layers: List[StackableFs] = []
+    stack = [top]
+    while stack:
+        layer = stack.pop(0)
+        if layer in layers:
+            continue
+        layers.append(layer)
+        stack.extend(layer.under_layers())
+    return layers
+
+
+def stack_depth(top: StackableFs) -> int:
+    """Length of the longest chain from ``top`` to a base layer."""
+    unders = top.under_layers()
+    if not unders:
+        return 1
+    return 1 + max(stack_depth(under) for under in unders)
+
+
+def describe_stack(top: StackableFs, indent: int = 0) -> str:
+    """Human-readable rendering of a stack, with domain placement —
+    what Figure 3/9/10 draw as boxes."""
+    domain = top.domain
+    line = (
+        " " * indent
+        + f"{top.fs_type()} (domain {domain.name!r} on node "
+        f"{domain.node.name!r})"
+    )
+    parts = [line]
+    for under in top.under_layers():
+        parts.append(describe_stack(under, indent + 2))
+    return "\n".join(parts)
+
+
+def domains_of(top: StackableFs) -> List[str]:
+    """Distinct domains the stack's layers run in, top-down."""
+    seen: List[str] = []
+    for layer in stack_layers(top):
+        name = f"{layer.domain.node.name}/{layer.domain.name}"
+        if name not in seen:
+            seen.append(name)
+    return seen

@@ -1,0 +1,58 @@
+"""Generic object interposition support.
+
+"An object O1 can be substituted for another object O2 of type foo as
+long as O1 is also of type foo.  The implementation of O1 decides on a
+per-operation basis whether to invoke the corresponding operation on O2,
+or whether to implement the functionality itself." (paper sec. 5)
+
+Concrete interposers (file wrappers, context interposers) live next to
+the interfaces they interpose on; this module provides the shared
+forwarding plumbing and call records used by watchdog-style interposers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, List, Tuple
+
+from repro.ipc.object import SpringObject
+
+
+@dataclasses.dataclass
+class CallRecord:
+    """One intercepted operation, for watchdog auditing."""
+
+    op: str
+    args: Tuple[Any, ...]
+    forwarded: bool
+
+
+class InterposerBase(SpringObject):
+    """Base class for interposers.
+
+    Subclasses implement the interposed interface; operations either call
+    :meth:`forward` (delegating to the original object) or implement the
+    behaviour themselves, recording either way so tests and examples can
+    observe interception.
+    """
+
+    def __init__(self, domain, target: SpringObject) -> None:
+        super().__init__(domain)
+        self.target = target
+        self.calls: List[CallRecord] = []
+
+    def forward(self, op: str, *args: Any, **kwargs: Any) -> Any:
+        """Invoke ``op`` on the original object and record the call."""
+        self.calls.append(CallRecord(op, args, forwarded=True))
+        return getattr(self.target, op)(*args, **kwargs)
+
+    def record_local(self, op: str, *args: Any) -> None:
+        """Record an operation the interposer handled itself."""
+        self.calls.append(CallRecord(op, args, forwarded=False))
+
+    def intercepted(self, op: str) -> int:
+        """How many times ``op`` was handled locally (not forwarded)."""
+        return sum(1 for c in self.calls if c.op == op and not c.forwarded)
+
+    def forwarded_count(self, op: str) -> int:
+        return sum(1 for c in self.calls if c.op == op and c.forwarded)

@@ -1,0 +1,147 @@
+"""Location-independent object invocation.
+
+Spring's stub technology "automatically chooses the optimal path
+(procedure calls or cross-domain calls)" (paper sec. 6.4), and the same
+invocation works across machines.  We reproduce that with the
+:func:`operation` decorator: every operation on a :class:`SpringObject`
+compares the calling domain (tracked in a thread-local stack) with the
+server domain and charges the virtual clock with the right path cost:
+
+* same domain            -> two local procedure calls
+* same node, other domain -> one cross-domain call
+* other node              -> one network round trip, sized by the bytes
+                             actually carried in arguments and result
+
+Code runs "inside" a domain via ``with domain.activate():``.  Invocations
+made with no active domain (common in unit tests that don't care about
+costs) are treated as originating in the server's own domain and charge
+nothing; benchmarks always activate a client domain.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+from typing import Any, Callable, List, Optional, TypeVar
+
+from repro.errors import RevokedObjectError
+
+_tls = threading.local()
+
+
+def _stack() -> List[Any]:
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = []
+        _tls.stack = stack
+    return stack
+
+
+def current_domain() -> Optional[Any]:
+    """The domain on whose behalf the current code is executing, or None."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+def _caller_stack() -> List[Any]:
+    stack = getattr(_tls, "callers", None)
+    if stack is None:
+        stack = []
+        _tls.callers = stack
+    return stack
+
+
+def calling_domain() -> Optional[Any]:
+    """The domain that invoked the operation currently executing — what
+    ACL checks must authenticate (the *client*, not the server whose
+    domain is active while the operation body runs)."""
+    stack = _caller_stack()
+    return stack[-1] if stack else None
+
+
+def push_domain(domain: Any) -> None:
+    _stack().append(domain)
+
+
+def pop_domain() -> None:
+    _stack().pop()
+
+
+def bytes_in(value: Any) -> int:
+    """Bytes-like payload carried inside ``value``, recursing through
+    containers (dicts of pages, lists of (offset, data) pairs).  Scalars
+    and object references are free — the round-trip cost already covers a
+    small control message."""
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return len(value)
+    if isinstance(value, dict):
+        return sum(bytes_in(v) for v in value.values())
+    if isinstance(value, (list, tuple)):
+        return sum(bytes_in(v) for v in value)
+    return 0
+
+
+def _payload_bytes(args: tuple, kwargs: dict) -> int:
+    return sum(bytes_in(v) for v in args) + sum(bytes_in(v) for v in kwargs.values())
+
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+
+def operation(fn: F) -> F:
+    """Mark a method as a Spring interface operation.
+
+    The wrapper charges the invocation-path cost, records the call on the
+    world's counters, and runs the method body with the server's domain
+    active (so nested invocations are charged relative to the server).
+    """
+
+    @functools.wraps(fn)
+    def wrapper(self: Any, *args: Any, **kwargs: Any) -> Any:
+        if self._revoked:
+            raise RevokedObjectError(
+                f"{type(self).__name__}.{fn.__name__} on revoked object {self.oid}"
+            )
+        server = self.domain
+        world = server.world
+        caller = current_domain()
+        if caller is None:
+            # No active domain: zero-cost local semantics (see module doc).
+            path = "direct"
+        elif caller is server:
+            path = "local"
+            world.charge.local_call()
+        elif caller.node is server.node:
+            path = "cross_domain"
+            world.charge.cross_domain_call()
+        else:
+            path = "network"
+            request_bytes = _payload_bytes(args, kwargs)
+            world.network.transfer(caller.node, server.node, request_bytes)
+        world.counters.inc(f"invoke.{path}")
+        world.counters.inc(f"op.{fn.__name__}")
+        if world.tracer is not None:
+            world.trace(
+                "invoke",
+                f"{type(self).__name__}.{fn.__name__}",
+                path=path,
+                server=f"{server.node.name}/{server.name}",
+                caller=(
+                    f"{caller.node.name}/{caller.name}" if caller else "-"
+                ),
+            )
+        push_domain(server)
+        _caller_stack().append(caller)
+        try:
+            result = fn(self, *args, **kwargs)
+        finally:
+            pop_domain()
+            _caller_stack().pop()
+        if caller is not None and caller.node is not server.node:
+            reply_bytes = bytes_in(result)
+            if reply_bytes:
+                world.network.payload(server.node, caller.node, reply_bytes)
+        return result
+
+    wrapper._is_operation = True  # type: ignore[attr-defined]
+    return wrapper  # type: ignore[return-value]

@@ -1,0 +1,45 @@
+"""Interface narrowing.
+
+Spring uses *interface* inheritance: "An interface that accepts an object
+of type foo will also accept a subclass of foo" (paper sec. 3.1), and
+servers discover extended functionality by attempting to *narrow* a
+received object to a subtype — e.g. SFS narrows a received cache object
+to ``fs_cache`` to learn whether it is talking to a file system or to a
+plain cache manager such as a VMM (paper sec. 4.3).
+
+Failure to narrow is a normal, observable outcome, not an error — hence
+:func:`narrow` returns ``None`` and :func:`narrow_or_raise` exists for
+call sites where the subtype is mandatory.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Type, TypeVar
+
+from repro.errors import NarrowError
+
+T = TypeVar("T")
+
+
+def narrow(obj: object, interface: Type[T]) -> Optional[T]:
+    """Return ``obj`` typed as ``interface`` if it implements it, else
+    ``None``.
+
+    >>> narrow(3, int)
+    3
+    >>> narrow(3, str) is None
+    True
+    """
+    if isinstance(obj, interface):
+        return obj
+    return None
+
+
+def narrow_or_raise(obj: object, interface: Type[T]) -> T:
+    """Like :func:`narrow` but raises :class:`NarrowError` on failure."""
+    narrowed = narrow(obj, interface)
+    if narrowed is None:
+        raise NarrowError(
+            f"{type(obj).__name__} does not implement {interface.__name__}"
+        )
+    return narrowed

@@ -1,0 +1,75 @@
+"""Inter-node network model.
+
+Replaces the paper's machine-to-machine transport (DESIGN.md sec. 2).
+Charges a round-trip plus per-KB payload cost for each cross-node
+invocation, counts messages and bytes per node pair, and supports
+partition injection so tests can exercise remote-failure paths.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, FrozenSet, Set, Tuple
+
+from repro.errors import InvocationError
+
+if TYPE_CHECKING:
+    from repro.ipc.node import Node
+
+
+class NetworkPartitionError(InvocationError):
+    """The two nodes cannot currently exchange messages."""
+
+
+class Network:
+    """The single network connecting all nodes of a world."""
+
+    def __init__(self, world) -> None:
+        self.world = world
+        self.messages = 0
+        self.bytes_moved = 0
+        self.per_pair: Dict[Tuple[str, str], int] = {}
+        self._partitions: Set[FrozenSet[str]] = set()
+
+    # --- traffic ----------------------------------------------------------
+    def transfer(self, src: "Node", dst: "Node", nbytes: int) -> None:
+        """One request message from ``src`` to ``dst`` carrying ``nbytes``.
+
+        Charges a full round trip (the reply's latency is part of the
+        RTT); reply payload is charged separately via :meth:`payload`.
+        """
+        self._check_reachable(src, dst)
+        self.messages += 1
+        self.bytes_moved += nbytes
+        key = (src.name, dst.name)
+        self.per_pair[key] = self.per_pair.get(key, 0) + 1
+        self.world.charge.network(nbytes)
+        self.world.trace("network", "message", src=src.name, dst=dst.name,
+                         bytes=nbytes)
+
+    def payload(self, src: "Node", dst: "Node", nbytes: int) -> None:
+        """Additional payload (e.g. a bulk reply) on an exchange whose
+        round trip was already charged."""
+        self._check_reachable(src, dst)
+        self.bytes_moved += nbytes
+        self.world.charge.network_payload(nbytes)
+
+    # --- failure injection -------------------------------------------------
+    def partition(self, a: "Node", b: "Node") -> None:
+        """Cut the link between two nodes (both directions)."""
+        self._partitions.add(frozenset((a.name, b.name)))
+
+    def heal(self, a: "Node", b: "Node") -> None:
+        """Restore the link between two nodes."""
+        self._partitions.discard(frozenset((a.name, b.name)))
+
+    def heal_all(self) -> None:
+        self._partitions.clear()
+
+    def _check_reachable(self, src: "Node", dst: "Node") -> None:
+        if frozenset((src.name, dst.name)) in self._partitions:
+            raise NetworkPartitionError(
+                f"network partition between {src.name!r} and {dst.name!r}"
+            )
+
+    def message_count(self, src: "Node", dst: "Node") -> int:
+        return self.per_pair.get((src.name, dst.name), 0)

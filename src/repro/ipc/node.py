@@ -1,0 +1,49 @@
+"""Nodes.
+
+A node models one machine: a nucleus (kernel) domain hosting the VMM,
+plus any number of server and user domains (paper Figure 1).  Nodes are
+created through :meth:`repro.world.World.create_node`, which also boots
+the node's VMM and shared name-space root.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.ipc.domain import Credentials, Domain
+
+if TYPE_CHECKING:
+    from repro.vm.vmm import Vmm
+
+
+class Node:
+    """One machine in the simulated distributed system."""
+
+    def __init__(self, world, name: str) -> None:
+        self.world = world
+        self.name = name
+        self.domains: Dict[str, Domain] = {}
+        #: The nucleus domain — kernel + VMM live here.
+        self.nucleus = self.create_domain(
+            "nucleus", Credentials("nucleus", privileged=True)
+        )
+        #: Per-node virtual memory manager; attached by repro.vm.vmm at
+        #: world.create_node time (avoids an import cycle).
+        self.vmm: Optional["Vmm"] = None
+
+    def create_domain(
+        self, name: str, credentials: Optional[Credentials] = None
+    ) -> Domain:
+        """Create a new address space on this node.
+
+        Domain names are unique per node; reusing one is a configuration
+        error.
+        """
+        if name in self.domains:
+            raise ValueError(f"domain {name!r} already exists on node {self.name!r}")
+        domain = Domain(self, name, credentials)
+        self.domains[name] = domain
+        return domain
+
+    def __repr__(self) -> str:
+        return f"<Node {self.name!r} domains={sorted(self.domains)}>"

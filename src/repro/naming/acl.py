@@ -1,0 +1,68 @@
+"""Access control lists for naming contexts.
+
+"Naming contexts are associated with access control lists" (paper
+sec. 5, citing the Spring name service paper).  The model here is
+deliberately small: an ACL names an owner, grants or withholds world
+resolve/bind rights, and always admits privileged (system) credentials.
+That is enough to express the paper's two requirements — protected
+system contexts, and authenticated interposers being allowed to rebind
+parts of the name space.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import PermissionDeniedError
+from repro.ipc.domain import Credentials
+
+
+class Acl:
+    """Resolve/bind permissions for one context."""
+
+    def __init__(
+        self,
+        owner: Optional[str] = None,
+        world_resolve: bool = True,
+        world_bind: bool = True,
+    ) -> None:
+        self.owner = owner
+        self.world_resolve = world_resolve
+        self.world_bind = world_bind
+
+    # --- checks ------------------------------------------------------------
+    def can_resolve(self, creds: Optional[Credentials]) -> bool:
+        return self._allowed(creds, self.world_resolve)
+
+    def can_bind(self, creds: Optional[Credentials]) -> bool:
+        return self._allowed(creds, self.world_bind)
+
+    def check_resolve(self, creds: Optional[Credentials]) -> None:
+        if not self.can_resolve(creds):
+            raise PermissionDeniedError(f"resolve denied for {creds!r}")
+
+    def check_bind(self, creds: Optional[Credentials]) -> None:
+        if not self.can_bind(creds):
+            raise PermissionDeniedError(f"bind denied for {creds!r}")
+
+    def _allowed(self, creds: Optional[Credentials], world_flag: bool) -> bool:
+        if world_flag:
+            return True
+        if creds is None:
+            # No active domain: internal/system access (see invocation
+            # module doc); treat as privileged.
+            return True
+        if creds.privileged:
+            return True
+        return self.owner is not None and creds.principal == self.owner
+
+
+def open_acl() -> Acl:
+    """Anyone may resolve and bind."""
+    return Acl()
+
+
+def system_acl(owner: str = "nucleus") -> Acl:
+    """World-readable, but only the owner/privileged domains may bind —
+    the policy used for /fs_creators and other boot-time contexts."""
+    return Acl(owner=owner, world_resolve=True, world_bind=False)

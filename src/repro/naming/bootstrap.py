@@ -1,0 +1,36 @@
+"""Boot-time name-space construction for a node.
+
+Builds the shared root context and the well-known contexts the paper
+relies on:
+
+* ``/fs_creators`` — where each file system type's creator registers
+  itself ("it registers itself in a well-known place e.g.
+  /fs_creators/dfs_creator", sec. 4.4);
+* ``/fs``       — where administrators export stackable_fs instances;
+* ``/dev``      — block devices of this node.
+"""
+
+from __future__ import annotations
+
+from repro.ipc.domain import Credentials
+from repro.naming.acl import open_acl, system_acl
+from repro.naming.context import MemoryContext
+
+
+def boot_naming(node) -> None:
+    """Create the naming server domain and standard contexts on a node."""
+    naming_domain = node.create_domain(
+        "naming", Credentials("naming", privileged=True)
+    )
+    with naming_domain.activate():
+        root = MemoryContext(naming_domain, system_acl("naming"))
+        fs_creators = MemoryContext(naming_domain, open_acl())
+        fs = MemoryContext(naming_domain, open_acl())
+        dev = MemoryContext(naming_domain, open_acl())
+        root._bindings["fs_creators"] = fs_creators
+        root._bindings["fs"] = fs
+        root._bindings["dev"] = dev
+    node.root_context = root
+    node.fs_creators = fs_creators
+    node.fs_context = fs
+    node.dev_context = dev

@@ -1,0 +1,90 @@
+"""Client-side name caching.
+
+The paper's fix for cross-domain open overhead: "If the open overhead
+caused by splitting file system layers across domains turns out to be
+significant ... name caching can be used to eliminate the overhead. We
+are currently implementing name caching in Spring" (sec. 6.4).  The
+paper treats it as future work; we implement it and ablate it
+(`benchmarks/bench_ablation_namecache.py`).
+
+A :class:`NameCache` sits in the *client's* domain.  A hit costs one
+small in-domain charge instead of a chain of (possibly cross-domain)
+context hops.  Correctness: every :class:`MemoryContext` mutation fires
+a world-level event; the cache drops every entry whose resolution path
+passed through the mutated context.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.naming.context import NamingContext
+
+
+class NameCache:
+    """LRU-less direct-mapped name cache (capacity-bounded dict)."""
+
+    def __init__(self, world, capacity: int = 1024) -> None:
+        self.world = world
+        self.capacity = capacity
+        #: (root oid, name) -> (object, oids of contexts on the path)
+        self._entries: Dict[Tuple[int, str], Tuple[object, Set[int]]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        world.register_name_cache(self)
+
+    def resolve(self, root: NamingContext, name: str) -> object:
+        """Resolve through the cache, falling back to real resolution."""
+        key = (root.oid, name)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self.hits += 1
+            self.world.charge.name_cache_hit()
+            self.world.counters.inc("namecache.hit")
+            return cached[0]
+        self.misses += 1
+        self.world.counters.inc("namecache.miss")
+        obj, path_oids = self._resolve_tracking(root, name)
+        if len(self._entries) >= self.capacity:
+            # Simple wholesale eviction keeps the structure predictable.
+            self._entries.clear()
+        self._entries[key] = (obj, path_oids)
+        return obj
+
+    def _resolve_tracking(
+        self, root: NamingContext, name: str
+    ) -> Tuple[object, Set[int]]:
+        """Resolve hop by hop, remembering which contexts were traversed
+        so mutations to any of them invalidate the entry."""
+        from repro.naming import name as names
+
+        components = names.split_name(name)
+        path_oids: Set[int] = {root.oid}
+        current: object = root
+        for index, component in enumerate(components):
+            context = current
+            assert isinstance(context, NamingContext)
+            path_oids.add(context.oid)
+            current = context.resolve(component)
+            if index < len(components) - 1 and isinstance(current, NamingContext):
+                path_oids.add(current.oid)
+        return current, path_oids
+
+    # --- invalidation ---------------------------------------------------------
+    def on_name_event(self, context: NamingContext, component: str) -> None:
+        """Called by the world whenever any context binding changes."""
+        stale = [
+            key
+            for key, (_, path_oids) in self._entries.items()
+            if context.oid in path_oids
+        ]
+        for key in stale:
+            del self._entries[key]
+            self.invalidations += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,151 @@
+"""Naming contexts.
+
+"A context is an object that contains a set of name bindings in which
+each name is unique. ... Since a context is like any other object, it can
+also be bound to a name in some context." (paper sec. 3.2)
+
+Two properties of Spring naming matter to file stacking and are
+reproduced here:
+
+* any domain may implement a naming context and (if authenticated) bind
+  it anywhere — this is how a ``stackable_fs`` exports its files, and how
+  interposers splice themselves in (paper sec. 5);
+* resolution of a compound name hops context to context, so each hop is
+  charged with the invocation path between the caller and whichever
+  domain serves that context.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import (
+    NameAlreadyBoundError,
+    NameNotFoundError,
+    NotAContextError,
+)
+from repro.ipc import invocation
+from repro.ipc.narrow import narrow
+from repro.ipc.object import SpringObject
+from repro.naming import name as names
+from repro.naming.acl import Acl, open_acl
+
+
+class NamingContext(SpringObject, abc.ABC):
+    """The naming_context interface."""
+
+    @abc.abstractmethod
+    def resolve(self, name: str) -> object:
+        """Resolve a (possibly compound) name to an object."""
+
+    @abc.abstractmethod
+    def bind(self, name: str, obj: object) -> None:
+        """Create a binding for a single-component name."""
+
+    @abc.abstractmethod
+    def unbind(self, name: str) -> object:
+        """Remove a binding, returning the object it named."""
+
+    @abc.abstractmethod
+    def rebind(self, name: str, obj: object) -> object:
+        """Atomically replace a binding, returning the old object.
+
+        This is the primitive interposers use: resolve, then rebind the
+        name to a context/file implemented by the interposer.
+        """
+
+    @abc.abstractmethod
+    def list_bindings(self) -> List[Tuple[str, object]]:
+        """All (name, object) pairs, sorted by name."""
+
+
+class MemoryContext(NamingContext):
+    """The standard in-memory context implementation.
+
+    Served by whatever domain created it; charged accordingly on every
+    hop.  Fires world-level name-invalidation events on mutation so name
+    caches (paper sec. 6.4's planned name caching) stay correct.
+    """
+
+    def __init__(self, domain, acl: Optional[Acl] = None) -> None:
+        super().__init__(domain)
+        self.acl = acl or open_acl()
+        self._bindings: Dict[str, object] = {}
+
+    # --- helpers ------------------------------------------------------------
+    def _caller_credentials(self):
+        caller = invocation.calling_domain()
+        return caller.credentials if caller is not None else None
+
+    def _notify_changed(self, component: str) -> None:
+        self.world.name_event(self, component)
+
+    # --- naming_context operations -------------------------------------------
+    @invocation.operation
+    def resolve(self, name: str) -> object:
+        self.acl.check_resolve(self._caller_credentials())
+        head, tail = names.head_tail(name)
+        try:
+            obj = self._bindings[head]
+        except KeyError:
+            raise NameNotFoundError(f"{head!r} not bound in context {self.oid}")
+        if tail == "":
+            return obj
+        sub = narrow(obj, NamingContext)
+        if sub is None:
+            raise NotAContextError(
+                f"{head!r} is a {type(obj).__name__}, not a context; "
+                f"cannot resolve remainder {tail!r}"
+            )
+        return sub.resolve(tail)
+
+    @invocation.operation
+    def bind(self, name: str, obj: object) -> None:
+        self.acl.check_bind(self._caller_credentials())
+        names.validate_component(name)
+        if name in self._bindings:
+            raise NameAlreadyBoundError(f"{name!r} already bound")
+        self._bindings[name] = obj
+        self._notify_changed(name)
+
+    @invocation.operation
+    def unbind(self, name: str) -> object:
+        self.acl.check_bind(self._caller_credentials())
+        names.validate_component(name)
+        try:
+            obj = self._bindings.pop(name)
+        except KeyError:
+            raise NameNotFoundError(f"{name!r} not bound")
+        self._notify_changed(name)
+        return obj
+
+    @invocation.operation
+    def rebind(self, name: str, obj: object) -> object:
+        self.acl.check_bind(self._caller_credentials())
+        names.validate_component(name)
+        try:
+            old = self._bindings[name]
+        except KeyError:
+            raise NameNotFoundError(f"{name!r} not bound")
+        self._bindings[name] = obj
+        self._notify_changed(name)
+        return old
+
+    @invocation.operation
+    def list_bindings(self) -> List[Tuple[str, object]]:
+        self.acl.check_resolve(self._caller_credentials())
+        return sorted(self._bindings.items())
+
+    # --- convenience ----------------------------------------------------------
+    @invocation.operation
+    def create_context(self, name: str, acl: Optional[Acl] = None) -> "MemoryContext":
+        """Create a fresh sub-context served by this context's domain and
+        bind it under ``name``."""
+        sub = MemoryContext(self.domain, acl)
+        self.bind(name, sub)
+        return sub
+
+    def contains(self, name: str) -> bool:
+        """Non-invocation peek used by tests."""
+        return name in self._bindings

@@ -1,0 +1,77 @@
+"""Compound-name syntax.
+
+Spring names are sequences of components; we use the familiar
+slash-separated textual form.  A leading slash means "resolve from the
+node's shared root" in :mod:`repro.naming.namespace`; within a context a
+name is always relative.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import InvalidNameError
+
+SEPARATOR = "/"
+
+
+def split_name(name: str) -> List[str]:
+    """Split a textual name into components, validating each.
+
+    >>> split_name("a/b/c")
+    ['a', 'b', 'c']
+    >>> split_name("/fs/sfs0")
+    ['fs', 'sfs0']
+    """
+    if not isinstance(name, str) or name == "":
+        raise InvalidNameError(f"invalid name: {name!r}")
+    stripped = name[1:] if name.startswith(SEPARATOR) else name
+    if stripped == "":
+        raise InvalidNameError("the root itself cannot be named by ''")
+    components = stripped.split(SEPARATOR)
+    for component in components:
+        validate_component(component)
+    return components
+
+
+def validate_component(component: str) -> None:
+    """A single binding name: non-empty, no separator, no NUL."""
+    if component == "":
+        raise InvalidNameError("empty name component")
+    if SEPARATOR in component:
+        raise InvalidNameError(f"component contains separator: {component!r}")
+    if "\0" in component:
+        raise InvalidNameError("component contains NUL")
+
+
+def is_absolute(name: str) -> bool:
+    return name.startswith(SEPARATOR)
+
+
+def head_tail(name: str) -> Tuple[str, str]:
+    """Split into (first component, remainder) — remainder may be ''.
+
+    >>> head_tail("a/b/c")
+    ('a', 'b/c')
+    >>> head_tail("a")
+    ('a', '')
+    """
+    components = split_name(name)
+    head = components[0]
+    tail = SEPARATOR.join(components[1:])
+    return head, tail
+
+
+def join(*parts: str) -> str:
+    """Join name parts with the separator, preserving a leading slash on
+    the first part.
+
+    >>> join("/fs", "sfs0", "file1")
+    '/fs/sfs0/file1'
+    """
+    if not parts:
+        raise InvalidNameError("join of no parts")
+    cleaned = [parts[0].rstrip(SEPARATOR)] + [
+        p.strip(SEPARATOR) for p in parts[1:] if p.strip(SEPARATOR)
+    ]
+    return SEPARATOR.join(cleaned)

@@ -1,0 +1,6 @@
+"""Virtual-time simulation substrate: clock and calibrated cost model."""
+
+from repro.sim.clock import SimClock, StopWatch
+from repro.sim.costs import Charger, CostModel
+
+__all__ = ["SimClock", "StopWatch", "Charger", "CostModel"]

@@ -1,0 +1,102 @@
+"""Deterministic virtual clock.
+
+All latencies in the reproduction — CPU work, cross-domain calls, network
+transfers, disk I/O — are charged to a :class:`SimClock` instead of being
+measured in wall time.  This replaces the paper's SPARCstation 10 testbed
+(see DESIGN.md section 2): the phenomena the paper reports are *relative*
+costs of invocation paths, which a charged clock reproduces exactly and
+deterministically.
+
+Times are in microseconds, the unit the paper's Table 3 uses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+
+class SimClock:
+    """A monotonically advancing virtual clock with charge accounting.
+
+    Besides the current time, the clock keeps per-category totals (e.g.
+    how much virtual time went to ``disk`` vs ``cross_domain``), which the
+    benchmark harness uses to attribute costs the way the paper's
+    discussion does ("the disk overhead is much higher than the cross
+    domain call overhead").
+    """
+
+    def __init__(self) -> None:
+        self._now_us = 0.0
+        self._by_category: Dict[str, float] = {}
+        self._listeners: List[Callable[[str, float], None]] = []
+
+    @property
+    def now_us(self) -> float:
+        """Current virtual time in microseconds."""
+        return self._now_us
+
+    def advance(self, delta_us: float, category: str = "cpu") -> None:
+        """Advance virtual time by ``delta_us``, attributed to ``category``.
+
+        Negative charges are a programming error and raise ``ValueError``.
+        """
+        if delta_us < 0:
+            raise ValueError(f"negative time charge: {delta_us}")
+        self._now_us += delta_us
+        self._by_category[category] = self._by_category.get(category, 0.0) + delta_us
+        for listener in self._listeners:
+            listener(category, delta_us)
+
+    def charged(self, category: str) -> float:
+        """Total virtual time charged to ``category`` since construction."""
+        return self._by_category.get(category, 0.0)
+
+    def categories(self) -> Dict[str, float]:
+        """Snapshot of all per-category totals."""
+        return dict(self._by_category)
+
+    def add_listener(self, fn: Callable[[str, float], None]) -> None:
+        """Register a callback invoked as ``fn(category, delta_us)`` on
+        every charge.  Used by the measurement harness."""
+        self._listeners.append(fn)
+
+    def remove_listener(self, fn: Callable[[str, float], None]) -> None:
+        self._listeners.remove(fn)
+
+
+class StopWatch:
+    """Measures elapsed virtual time over a region, with a category
+    breakdown.  The bench harness wraps each measured operation in one.
+
+    >>> clock = SimClock()
+    >>> watch = StopWatch(clock)
+    >>> with watch:
+    ...     clock.advance(10, "cpu")
+    ...     clock.advance(5, "disk")
+    >>> watch.elapsed_us
+    15.0
+    >>> watch.breakdown["disk"]
+    5.0
+    """
+
+    def __init__(self, clock: SimClock) -> None:
+        self._clock = clock
+        self._start: Optional[float] = None
+        self._start_categories: Dict[str, float] = {}
+        self.elapsed_us = 0.0
+        self.breakdown: Dict[str, float] = {}
+
+    def __enter__(self) -> "StopWatch":
+        self._start = self._clock.now_us
+        self._start_categories = self._clock.categories()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._start is not None
+        self.elapsed_us = self._clock.now_us - self._start
+        end = self._clock.categories()
+        self.breakdown = {
+            cat: total - self._start_categories.get(cat, 0.0)
+            for cat, total in end.items()
+            if total - self._start_categories.get(cat, 0.0) > 0.0
+        }

@@ -1,0 +1,75 @@
+"""Optional event tracing.
+
+A :class:`Tracer` records a bounded timeline of system events —
+invocations with their chosen path, network messages, device transfers —
+for debugging stacks and for teaching: the rendered trace of, say, a
+remote read through DFS/COMPFS/SFS shows the exact sequence the paper's
+sec. 4.5 walkthrough narrates.
+
+Disabled by default (``world.tracer is None``); enable with
+``world.enable_tracing()``.  The hooks cost one attribute check when
+disabled.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+from typing import Deque, Dict, Iterator, List, Optional
+
+
+@dataclasses.dataclass
+class TraceEvent:
+    """One recorded event."""
+
+    seq: int
+    time_us: float
+    category: str
+    name: str
+    detail: Dict[str, object]
+
+    def render(self) -> str:
+        detail = " ".join(f"{k}={v}" for k, v in self.detail.items())
+        return f"[{self.time_us:12.1f}us] {self.category:8} {self.name} {detail}"
+
+
+class Tracer:
+    """A bounded ring buffer of trace events."""
+
+    def __init__(self, capacity: int = 10_000) -> None:
+        self.capacity = capacity
+        self._events: Deque[TraceEvent] = collections.deque(maxlen=capacity)
+        self._seq = 0
+        self.dropped = 0
+
+    def record(
+        self, time_us: float, category: str, name: str, **detail: object
+    ) -> None:
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._seq += 1
+        self._events.append(TraceEvent(self._seq, time_us, category, name, detail))
+
+    # --- querying ----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(self, category: Optional[str] = None) -> List[TraceEvent]:
+        if category is None:
+            return list(self._events)
+        return [e for e in self._events if e.category == category]
+
+    def names(self, category: Optional[str] = None) -> List[str]:
+        return [e.name for e in self.events(category)]
+
+    def render(self, last: int = 40) -> str:
+        """Human-readable tail of the timeline."""
+        tail = list(self._events)[-last:]
+        lines = [event.render() for event in tail]
+        if self.dropped:
+            lines.insert(0, f"... ({self.dropped} earlier events dropped)")
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.dropped = 0

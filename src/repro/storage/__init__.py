@@ -1,0 +1,23 @@
+"""Storage substrate: simulated block devices and the UFS-like on-disk
+file system engine used by the disk layer."""
+
+from repro.storage.allocator import BlockAllocator
+from repro.storage.block_device import BlockDevice, RamDevice
+from repro.storage.directory import pack_entries, unpack_entries
+from repro.storage.inode import INODE_SIZE, NUM_DIRECT, FileType, Inode
+from repro.storage.layout import SuperBlock
+from repro.storage.volume import Volume
+
+__all__ = [
+    "BlockAllocator",
+    "BlockDevice",
+    "RamDevice",
+    "pack_entries",
+    "unpack_entries",
+    "INODE_SIZE",
+    "NUM_DIRECT",
+    "FileType",
+    "Inode",
+    "SuperBlock",
+    "Volume",
+]

@@ -1,0 +1,96 @@
+"""Block bitmap allocator.
+
+Works on an in-memory image of the on-disk bitmap; the owning file
+system flushes dirty bitmap blocks to the device on sync.  First-fit
+with a rotating cursor, which keeps allocation deterministic while
+avoiding pathological re-scanning.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set
+
+from repro.errors import NoSpaceError, StorageError
+
+
+class BlockAllocator:
+    """Allocation state for the data-block region of one volume."""
+
+    def __init__(self, num_blocks: int, data_start: int) -> None:
+        self.num_blocks = num_blocks
+        self.data_start = data_start
+        self._used: Set[int] = set()
+        self._cursor = data_start
+        self._dirty = False
+
+    # --- persistence image -----------------------------------------------------
+    def to_bitmap(self, block_size: int, bitmap_blocks: int) -> List[bytes]:
+        """Serialize to bitmap blocks (bit set = block in use; metadata
+        blocks below data_start are always marked used)."""
+        bitmap = bytearray(bitmap_blocks * block_size)
+        for index in range(min(self.data_start, self.num_blocks)):
+            bitmap[index // 8] |= 1 << (index % 8)
+        for index in self._used:
+            bitmap[index // 8] |= 1 << (index % 8)
+        return [
+            bytes(bitmap[i * block_size : (i + 1) * block_size])
+            for i in range(bitmap_blocks)
+        ]
+
+    @classmethod
+    def from_bitmap(
+        cls, blocks: Iterable[bytes], num_blocks: int, data_start: int
+    ) -> "BlockAllocator":
+        allocator = cls(num_blocks, data_start)
+        bitmap = b"".join(blocks)
+        for index in range(data_start, num_blocks):
+            if bitmap[index // 8] & (1 << (index % 8)):
+                allocator._used.add(index)
+        return allocator
+
+    # --- allocation ---------------------------------------------------------
+    def allocate(self) -> int:
+        """Allocate one data block."""
+        if len(self._used) >= self.num_blocks - self.data_start:
+            raise NoSpaceError("no free data blocks")
+        index = self._cursor
+        scanned = 0
+        total = self.num_blocks - self.data_start
+        while scanned <= total:
+            if index >= self.num_blocks:
+                index = self.data_start
+            if index not in self._used:
+                self._used.add(index)
+                self._cursor = index + 1
+                self._dirty = True
+                return index
+            index += 1
+            scanned += 1
+        raise NoSpaceError("no free data blocks")  # pragma: no cover
+
+    def free(self, index: int) -> None:
+        if index < self.data_start or index >= self.num_blocks:
+            raise StorageError(f"free of non-data block {index}")
+        if index not in self._used:
+            raise StorageError(f"double free of block {index}")
+        self._used.remove(index)
+        self._dirty = True
+
+    # --- introspection ----------------------------------------------------------
+    def is_allocated(self, index: int) -> bool:
+        return index in self._used
+
+    @property
+    def used_count(self) -> int:
+        return len(self._used)
+
+    @property
+    def free_count(self) -> int:
+        return self.num_blocks - self.data_start - len(self._used)
+
+    @property
+    def dirty(self) -> bool:
+        return self._dirty
+
+    def mark_clean(self) -> None:
+        self._dirty = False

@@ -1,0 +1,132 @@
+"""Simulated block devices.
+
+Replaces the paper's 424 MB 4400 RPM SCSI disk (DESIGN.md sec. 2).  Each
+transfer charges seek + average rotational latency + media transfer to
+the virtual clock, which is what makes the uncached rows of Table 2
+disk-bound.  A zero-latency :class:`RamDevice` variant exists for
+ablations and for tests that exercise logic rather than cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import DeviceError
+from repro.ipc.invocation import operation
+from repro.ipc.object import SpringObject
+from repro.types import PAGE_SIZE
+
+
+class BlockDevice(SpringObject):
+    """A fixed-geometry array of blocks with disk-like latency."""
+
+    def __init__(
+        self,
+        domain,
+        name: str,
+        num_blocks: int,
+        block_size: int = PAGE_SIZE,
+        charge_latency: bool = True,
+    ) -> None:
+        super().__init__(domain)
+        if num_blocks <= 0 or block_size <= 0:
+            raise DeviceError("device geometry must be positive")
+        self.name = name
+        self.num_blocks = num_blocks
+        self.block_size = block_size
+        self.charge_latency = charge_latency
+        self._blocks: Dict[int, bytes] = {}
+        self.reads = 0
+        self.writes = 0
+        #: Failure injection: block index -> error message.
+        self._bad_blocks: Dict[int, str] = {}
+
+    # --- helpers ---------------------------------------------------------
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self.num_blocks:
+            raise DeviceError(
+                f"block {index} out of range on {self.name!r} "
+                f"(0..{self.num_blocks - 1})"
+            )
+        if index in self._bad_blocks:
+            raise DeviceError(
+                f"I/O error on {self.name!r} block {index}: "
+                f"{self._bad_blocks[index]}"
+            )
+
+    def _charge(self) -> None:
+        if self.charge_latency:
+            self.world.charge.disk_io(self.block_size)
+        self.world.trace("disk", "transfer", device=self.name)
+
+    # --- device interface --------------------------------------------------
+    @operation
+    def read_block(self, index: int) -> bytes:
+        self._check(index)
+        self._charge()
+        self.reads += 1
+        data = self._blocks.get(index)
+        if data is None:
+            return bytes(self.block_size)
+        return data
+
+    @operation
+    def read_blocks(self, start: int, count: int) -> bytes:
+        """Read ``count`` physically contiguous blocks in ONE transfer:
+        one seek + rotational latency, then sequential media transfer.
+        This is what makes clustering/read-ahead pay (paper sec. 8's
+        open problem): per-byte cost collapses for sequential runs."""
+        if count <= 0:
+            raise DeviceError("read_blocks needs a positive count")
+        for index in range(start, start + count):
+            self._check(index)
+        if self.charge_latency:
+            self.world.charge.disk_io(count * self.block_size)
+        self.reads += 1
+        out = bytearray()
+        for index in range(start, start + count):
+            data = self._blocks.get(index)
+            out += data if data is not None else bytes(self.block_size)
+        return bytes(out)
+
+    @operation
+    def write_block(self, index: int, data: bytes) -> None:
+        self._check(index)
+        if len(data) > self.block_size:
+            raise DeviceError(
+                f"write of {len(data)} bytes exceeds block size {self.block_size}"
+            )
+        self._charge()
+        self.writes += 1
+        if len(data) < self.block_size:
+            data = bytes(data) + bytes(self.block_size - len(data))
+        self._blocks[index] = bytes(data)
+
+    @operation
+    def capacity_bytes(self) -> int:
+        return self.num_blocks * self.block_size
+
+    # --- failure injection ------------------------------------------------------
+    def inject_bad_block(self, index: int, reason: str = "media error") -> None:
+        self._bad_blocks[index] = reason
+
+    def clear_bad_blocks(self) -> None:
+        self._bad_blocks.clear()
+
+    # --- test/introspection helpers (not operations) -----------------------------
+    def peek(self, index: int) -> bytes:
+        """Raw block contents without latency or stats — test aid."""
+        data = self._blocks.get(index)
+        return data if data is not None else bytes(self.block_size)
+
+    def allocated_blocks(self) -> int:
+        return len(self._blocks)
+
+
+class RamDevice(BlockDevice):
+    """A block device with no mechanical latency (ablation aid)."""
+
+    def __init__(
+        self, domain, name: str, num_blocks: int, block_size: int = PAGE_SIZE
+    ) -> None:
+        super().__init__(domain, name, num_blocks, block_size, charge_latency=False)

@@ -1,0 +1,90 @@
+"""On-disk layout of the UFS-like base file system.
+
+The disk layer "implements an on-disk UFS-compatible file system" (paper
+sec. 6.2 / Figure 10).  We keep a classic layout:
+
+    block 0                superblock
+    blocks 1..B            block allocation bitmap
+    blocks B+1..B+I        i-node table
+    blocks B+I+1..         data blocks
+
+All multi-byte integers are little-endian, packed with :mod:`struct`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+
+from repro.errors import StorageError
+
+MAGIC = 0x53465331  # "SFS1"
+
+#: Superblock: magic, block_size, num_blocks, bitmap_start, bitmap_blocks,
+#: inode_table_start, inode_table_blocks, inode_count, data_start, root_ino.
+_SUPERBLOCK = struct.Struct("<10I")
+
+
+@dataclasses.dataclass
+class SuperBlock:
+    block_size: int
+    num_blocks: int
+    bitmap_start: int
+    bitmap_blocks: int
+    inode_table_start: int
+    inode_table_blocks: int
+    inode_count: int
+    data_start: int
+    root_ino: int
+
+    def pack(self) -> bytes:
+        return _SUPERBLOCK.pack(
+            MAGIC,
+            self.block_size,
+            self.num_blocks,
+            self.bitmap_start,
+            self.bitmap_blocks,
+            self.inode_table_start,
+            self.inode_table_blocks,
+            self.inode_count,
+            self.data_start,
+            self.root_ino,
+        )
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "SuperBlock":
+        fields = _SUPERBLOCK.unpack_from(raw)
+        if fields[0] != MAGIC:
+            raise StorageError(
+                f"bad superblock magic {fields[0]:#x}; device not formatted?"
+            )
+        return cls(*fields[1:])
+
+    @classmethod
+    def compute(cls, block_size: int, num_blocks: int, inode_count: int) -> "SuperBlock":
+        """Derive a layout for a device of ``num_blocks`` blocks."""
+        from repro.storage.inode import INODE_SIZE
+
+        bits_per_block = block_size * 8
+        bitmap_blocks = (num_blocks + bits_per_block - 1) // bits_per_block
+        inodes_per_block = block_size // INODE_SIZE
+        inode_table_blocks = (inode_count + inodes_per_block - 1) // inodes_per_block
+        bitmap_start = 1
+        inode_table_start = bitmap_start + bitmap_blocks
+        data_start = inode_table_start + inode_table_blocks
+        if data_start >= num_blocks:
+            raise StorageError(
+                f"device too small: metadata needs {data_start} of "
+                f"{num_blocks} blocks"
+            )
+        return cls(
+            block_size=block_size,
+            num_blocks=num_blocks,
+            bitmap_start=bitmap_start,
+            bitmap_blocks=bitmap_blocks,
+            inode_table_start=inode_table_start,
+            inode_table_blocks=inode_table_blocks,
+            inode_count=inode_count,
+            data_start=data_start,
+            root_ino=1,
+        )

@@ -1,0 +1,583 @@
+"""The on-disk file system engine.
+
+A :class:`Volume` is the UFS-like structure the paper's *disk layer*
+manages (sec. 6.2, Figure 10): superblock, block bitmap, i-node table,
+directories, and file data, all living on a :class:`BlockDevice`.
+
+Caching policy mirrors the paper's description of the disk layer:
+
+* "The disk layer maintains its own cache to handle open and stat
+  operations without requiring disk I/Os" — the i-node table and a
+  dentry cache are memory-resident (plus a metadata buffer cache for
+  bitmap and indirect blocks);
+* "but reads and writes to the disk layer do require disk I/Os" — file
+  *data* blocks are never cached here.  Data caching belongs to the
+  coherency layer and the VMMs above.
+
+The :meth:`fsck` checker validates cross-structure invariants and backs
+the property-based tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import (
+    DirectoryNotEmptyError,
+    FileExistsError_,
+    FileNotFoundError_,
+    IsADirectoryError_,
+    NoSpaceError,
+    NotADirectoryError_,
+    StorageError,
+)
+from repro.storage.allocator import BlockAllocator
+from repro.storage.block_device import BlockDevice
+from repro.storage.directory import pack_entries, unpack_entries
+from repro.storage.inode import INODE_SIZE, NUM_DIRECT, FileType, Inode
+from repro.storage.layout import SuperBlock
+
+
+class Volume:
+    """A mounted UFS-like volume."""
+
+    def __init__(self, device: BlockDevice, superblock: SuperBlock) -> None:
+        self.device = device
+        self.sb = superblock
+        self._pointers_per_block = superblock.block_size // 4
+        # In-memory i-node table image + dirty tracking.
+        self._inodes: List[Inode] = []
+        self._dirty_inodes: Set[int] = set()
+        # Dentry cache: (dir_ino, name) -> ino.
+        self._dentries: Dict[Tuple[int, str], int] = {}
+        # Metadata buffer cache (bitmap + indirect blocks only).
+        self._meta: Dict[int, bytearray] = {}
+        self._dirty_meta: Set[int] = set()
+        self.allocator: Optional[BlockAllocator] = None
+
+    # ------------------------------------------------------------------ setup
+    @classmethod
+    def mkfs(cls, device: BlockDevice, inode_count: int = 1024) -> "Volume":
+        """Format ``device`` and return the mounted volume."""
+        sb = SuperBlock.compute(device.block_size, device.num_blocks, inode_count)
+        volume = cls(device, sb)
+        volume.allocator = BlockAllocator(sb.num_blocks, sb.data_start)
+        volume._inodes = [Inode(ino=i) for i in range(inode_count)]
+        # i-node 0 is reserved (0 marks "no entry" in directories).
+        volume._inodes[0].type = FileType.REGULAR
+        volume._inodes[0].nlink = 1
+        root = volume._inodes[sb.root_ino]
+        root.type = FileType.DIRECTORY
+        root.nlink = 1
+        now = volume._now()
+        root.atime_us = root.mtime_us = root.ctime_us = now
+        volume._dirty_inodes.update({0, sb.root_ino})
+        device.write_block(0, sb.pack())
+        volume.sync()
+        return volume
+
+    @classmethod
+    def mount(cls, device: BlockDevice) -> "Volume":
+        """Mount an already-formatted device, loading metadata caches."""
+        sb = SuperBlock.unpack(device.read_block(0))
+        volume = cls(device, sb)
+        bitmap_blocks = [
+            device.read_block(sb.bitmap_start + i) for i in range(sb.bitmap_blocks)
+        ]
+        volume.allocator = BlockAllocator.from_bitmap(
+            bitmap_blocks, sb.num_blocks, sb.data_start
+        )
+        inodes: List[Inode] = []
+        per_block = sb.block_size // INODE_SIZE
+        for block_index in range(sb.inode_table_blocks):
+            raw = device.read_block(sb.inode_table_start + block_index)
+            for slot in range(per_block):
+                ino = block_index * per_block + slot
+                if ino >= sb.inode_count:
+                    break
+                inodes.append(
+                    Inode.unpack(ino, raw[slot * INODE_SIZE : (slot + 1) * INODE_SIZE])
+                )
+        volume._inodes = inodes
+        return volume
+
+    def _now(self) -> int:
+        return int(self.device.world.clock.now_us)
+
+    # ------------------------------------------------------------- inode access
+    def iget(self, ino: int) -> Inode:
+        """Fetch an i-node from the memory-resident table (no disk I/O)."""
+        if not 0 <= ino < self.sb.inode_count:
+            raise StorageError(f"i-node {ino} out of range")
+        inode = self._inodes[ino]
+        if not inode.allocated:
+            raise FileNotFoundError_(f"i-node {ino} is free")
+        return inode
+
+    def mark_dirty(self, ino: int) -> None:
+        self._dirty_inodes.add(ino)
+
+    def _alloc_inode(self, ftype: FileType) -> Inode:
+        for inode in self._inodes:
+            if not inode.allocated:
+                inode.type = ftype
+                inode.nlink = 0
+                inode.size = 0
+                inode.direct = [0] * NUM_DIRECT
+                inode.indirect = 0
+                inode.dbl_indirect = 0
+                now = self._now()
+                inode.atime_us = inode.mtime_us = inode.ctime_us = now
+                self.mark_dirty(inode.ino)
+                return inode
+        raise NoSpaceError("no free i-nodes")
+
+    # --------------------------------------------------------------- block map
+    def _meta_read(self, block: int) -> bytearray:
+        cached = self._meta.get(block)
+        if cached is None:
+            cached = bytearray(self.device.read_block(block))
+            self._meta[block] = cached
+        return cached
+
+    def _meta_write(self, block: int, data: bytearray) -> None:
+        self._meta[block] = data
+        self._dirty_meta.add(block)
+
+    def _pointer(self, block: int, slot: int) -> int:
+        raw = self._meta_read(block)
+        return int.from_bytes(raw[slot * 4 : slot * 4 + 4], "little")
+
+    def _set_pointer(self, block: int, slot: int, value: int) -> None:
+        raw = self._meta_read(block)
+        raw[slot * 4 : slot * 4 + 4] = value.to_bytes(4, "little")
+        self._dirty_meta.add(block)
+
+    def bmap(self, inode: Inode, file_block: int, allocate: bool = False) -> int:
+        """File block index -> device block index; 0 means a hole.
+
+        With ``allocate=True`` missing blocks (and any needed indirect
+        blocks) are allocated.
+        """
+        assert self.allocator is not None
+        ppb = self._pointers_per_block
+        if file_block < NUM_DIRECT:
+            block = inode.direct[file_block]
+            if block == 0 and allocate:
+                block = self.allocator.allocate()
+                inode.direct[file_block] = block
+                self.mark_dirty(inode.ino)
+            return block
+        file_block -= NUM_DIRECT
+        if file_block < ppb:
+            if inode.indirect == 0:
+                if not allocate:
+                    return 0
+                inode.indirect = self.allocator.allocate()
+                self._meta_write(inode.indirect, bytearray(self.sb.block_size))
+                self.mark_dirty(inode.ino)
+            block = self._pointer(inode.indirect, file_block)
+            if block == 0 and allocate:
+                block = self.allocator.allocate()
+                self._set_pointer(inode.indirect, file_block, block)
+            return block
+        file_block -= ppb
+        if file_block >= ppb * ppb:
+            raise NoSpaceError("file exceeds maximum size for this geometry")
+        outer, inner = divmod(file_block, ppb)
+        if inode.dbl_indirect == 0:
+            if not allocate:
+                return 0
+            inode.dbl_indirect = self.allocator.allocate()
+            self._meta_write(inode.dbl_indirect, bytearray(self.sb.block_size))
+            self.mark_dirty(inode.ino)
+        level1 = self._pointer(inode.dbl_indirect, outer)
+        if level1 == 0:
+            if not allocate:
+                return 0
+            level1 = self.allocator.allocate()
+            self._meta_write(level1, bytearray(self.sb.block_size))
+            self._set_pointer(inode.dbl_indirect, outer, level1)
+        block = self._pointer(level1, inner)
+        if block == 0 and allocate:
+            block = self.allocator.allocate()
+            self._set_pointer(level1, inner, block)
+        return block
+
+    def _mapped_blocks(self, inode: Inode) -> List[Tuple[int, int]]:
+        """All (file_block, device_block) pairs mapped by an i-node."""
+        assert self.allocator is not None
+        ppb = self._pointers_per_block
+        result: List[Tuple[int, int]] = []
+        for i, block in enumerate(inode.direct):
+            if block:
+                result.append((i, block))
+        if inode.indirect:
+            for slot in range(ppb):
+                block = self._pointer(inode.indirect, slot)
+                if block:
+                    result.append((NUM_DIRECT + slot, block))
+        if inode.dbl_indirect:
+            for outer in range(ppb):
+                level1 = self._pointer(inode.dbl_indirect, outer)
+                if not level1:
+                    continue
+                for inner in range(ppb):
+                    block = self._pointer(level1, inner)
+                    if block:
+                        result.append((NUM_DIRECT + ppb + outer * ppb + inner, block))
+        return result
+
+    def _metadata_blocks(self, inode: Inode) -> List[int]:
+        """Indirect-pointer blocks owned by an i-node."""
+        blocks: List[int] = []
+        if inode.indirect:
+            blocks.append(inode.indirect)
+        if inode.dbl_indirect:
+            blocks.append(inode.dbl_indirect)
+            for outer in range(self._pointers_per_block):
+                level1 = self._pointer(inode.dbl_indirect, outer)
+                if level1:
+                    blocks.append(level1)
+        return blocks
+
+    # ----------------------------------------------------------------- file data
+    def read_data(self, ino: int, offset: int, size: int) -> bytes:
+        """Read file data; holes read as zeros without disk I/O."""
+        inode = self.iget(ino)
+        if offset >= inode.size:
+            return b""
+        size = min(size, inode.size - offset)
+        out = bytearray()
+        bs = self.sb.block_size
+        position = offset
+        remaining = size
+        while remaining > 0:
+            file_block, in_block = divmod(position, bs)
+            take = min(bs - in_block, remaining)
+            device_block = self.bmap(inode, file_block)
+            if device_block == 0:
+                out += bytes(take)
+            else:
+                raw = self.device.read_block(device_block)
+                out += raw[in_block : in_block + take]
+            position += take
+            remaining -= take
+        inode.atime_us = self._now()
+        self.mark_dirty(ino)
+        return bytes(out)
+
+    def read_data_clustered(self, ino: int, offset: int, size: int) -> bytes:
+        """Like :meth:`read_data`, but block-aligned and clustering:
+        physically contiguous device blocks are fetched in single
+        multi-block transfers.  Used by the disk layer's ranged page-in
+        (read-ahead support, paper sec. 8)."""
+        inode = self.iget(ino)
+        if offset >= inode.size:
+            return b""
+        size = min(size, inode.size - offset)
+        bs = self.sb.block_size
+        if offset % bs != 0:
+            return self.read_data(ino, offset, size)
+        first_block = offset // bs
+        block_count = (size + bs - 1) // bs
+        # Map every file block, then coalesce physically contiguous runs.
+        mapped = [
+            self.bmap(inode, first_block + i) for i in range(block_count)
+        ]
+        out = bytearray()
+        i = 0
+        while i < block_count:
+            device_block = mapped[i]
+            if device_block == 0:
+                out += bytes(bs)  # hole
+                i += 1
+                continue
+            run = 1
+            while (
+                i + run < block_count
+                and mapped[i + run] == device_block + run
+            ):
+                run += 1
+            out += self.device.read_blocks(device_block, run)
+            i += run
+        inode.atime_us = self._now()
+        self.mark_dirty(ino)
+        return bytes(out[:size])
+
+    def write_data(self, ino: int, offset: int, data: bytes) -> None:
+        """Write file data, allocating blocks and growing size as needed."""
+        inode = self.iget(ino)
+        bs = self.sb.block_size
+        position = offset
+        consumed = 0
+        remaining = len(data)
+        while remaining > 0:
+            file_block, in_block = divmod(position, bs)
+            take = min(bs - in_block, remaining)
+            device_block = self.bmap(inode, file_block, allocate=True)
+            if take == bs:
+                block_data = data[consumed : consumed + bs]
+            else:
+                # Read-modify-write for partial blocks.
+                raw = bytearray(self.device.read_block(device_block))
+                raw[in_block : in_block + take] = data[consumed : consumed + take]
+                block_data = bytes(raw)
+            self.device.write_block(device_block, block_data)
+            position += take
+            consumed += take
+            remaining -= take
+        if offset + len(data) > inode.size:
+            inode.size = offset + len(data)
+        now = self._now()
+        inode.mtime_us = now
+        inode.ctime_us = now
+        self.mark_dirty(ino)
+
+    def truncate(self, ino: int, length: int) -> None:
+        """Shrink or extend (sparsely) a file to ``length`` bytes."""
+        assert self.allocator is not None
+        inode = self.iget(ino)
+        if length < inode.size:
+            bs = self.sb.block_size
+            keep_blocks = (length + bs - 1) // bs
+            for file_block, device_block in self._mapped_blocks(inode):
+                if file_block >= keep_blocks:
+                    self.allocator.free(device_block)
+                    self._clear_mapping(inode, file_block)
+            # Zero the tail of a retained partial boundary block, so a
+            # later extension reads zeros rather than resurrected bytes.
+            within = length % bs
+            if within:
+                boundary = self.bmap(inode, length // bs)
+                if boundary:
+                    raw = bytearray(self.device.read_block(boundary))
+                    raw[within:] = bytes(bs - within)
+                    self.device.write_block(boundary, bytes(raw))
+        inode.size = length
+        now = self._now()
+        inode.mtime_us = now
+        inode.ctime_us = now
+        self.mark_dirty(ino)
+
+    def _clear_mapping(self, inode: Inode, file_block: int) -> None:
+        ppb = self._pointers_per_block
+        if file_block < NUM_DIRECT:
+            inode.direct[file_block] = 0
+            self.mark_dirty(inode.ino)
+            return
+        file_block -= NUM_DIRECT
+        if file_block < ppb:
+            self._set_pointer(inode.indirect, file_block, 0)
+            return
+        file_block -= ppb
+        outer, inner = divmod(file_block, ppb)
+        level1 = self._pointer(inode.dbl_indirect, outer)
+        self._set_pointer(level1, inner, 0)
+
+    # ----------------------------------------------------------------- directories
+    def _dir_entries(self, dir_ino: int) -> Dict[str, int]:
+        inode = self.iget(dir_ino)
+        if not inode.is_dir:
+            raise NotADirectoryError_(f"i-node {dir_ino} is not a directory")
+        return unpack_entries(self.read_data(dir_ino, 0, inode.size))
+
+    def _write_dir(self, dir_ino: int, entries: Dict[str, int]) -> None:
+        packed = pack_entries(entries)
+        self.truncate(dir_ino, 0)
+        if packed:
+            self.write_data(dir_ino, 0, packed)
+
+    def lookup(self, dir_ino: int, name: str) -> int:
+        """Name -> i-node within a directory, through the dentry cache."""
+        cached = self._dentries.get((dir_ino, name))
+        if cached is not None:
+            return cached
+        entries = self._dir_entries(dir_ino)
+        try:
+            ino = entries[name]
+        except KeyError:
+            raise FileNotFoundError_(f"{name!r} not found in directory {dir_ino}")
+        self._dentries[(dir_ino, name)] = ino
+        return ino
+
+    def readdir(self, dir_ino: int) -> Dict[str, int]:
+        return self._dir_entries(dir_ino)
+
+    def create(self, dir_ino: int, name: str, ftype: FileType) -> Inode:
+        entries = self._dir_entries(dir_ino)
+        if name in entries:
+            raise FileExistsError_(f"{name!r} already exists in directory {dir_ino}")
+        inode = self._alloc_inode(ftype)
+        inode.nlink = 1
+        entries[name] = inode.ino
+        self._write_dir(dir_ino, entries)
+        self._dentries[(dir_ino, name)] = inode.ino
+        return inode
+
+    def link(self, dir_ino: int, name: str, target_ino: int) -> None:
+        """Create an additional hard link to a regular file."""
+        target = self.iget(target_ino)
+        if target.is_dir:
+            raise IsADirectoryError_("hard links to directories are not allowed")
+        entries = self._dir_entries(dir_ino)
+        if name in entries:
+            raise FileExistsError_(f"{name!r} already exists")
+        entries[name] = target_ino
+        self._write_dir(dir_ino, entries)
+        target.nlink += 1
+        target.ctime_us = self._now()
+        self.mark_dirty(target_ino)
+        self._dentries[(dir_ino, name)] = target_ino
+
+    def unlink(self, dir_ino: int, name: str) -> None:
+        entries = self._dir_entries(dir_ino)
+        try:
+            ino = entries.pop(name)
+        except KeyError:
+            raise FileNotFoundError_(f"{name!r} not found in directory {dir_ino}")
+        inode = self.iget(ino)
+        if inode.is_dir and self._dir_entries(ino):
+            raise DirectoryNotEmptyError(f"directory {name!r} is not empty")
+        self._write_dir(dir_ino, entries)
+        self._dentries.pop((dir_ino, name), None)
+        inode.nlink -= 1
+        inode.ctime_us = self._now()
+        self.mark_dirty(ino)
+        if inode.nlink == 0:
+            self._free_inode(inode)
+
+    def rename(
+        self, src_dir: int, src_name: str, dst_dir: int, dst_name: str
+    ) -> None:
+        src_entries = self._dir_entries(src_dir)
+        if src_name not in src_entries:
+            raise FileNotFoundError_(f"{src_name!r} not found")
+        dst_entries = (
+            src_entries if dst_dir == src_dir else self._dir_entries(dst_dir)
+        )
+        if dst_name in dst_entries and dst_entries[dst_name] != src_entries[src_name]:
+            raise FileExistsError_(f"{dst_name!r} already exists")
+        ino = src_entries.pop(src_name)
+        dst_entries[dst_name] = ino
+        self._write_dir(src_dir, src_entries)
+        if dst_dir != src_dir:
+            self._write_dir(dst_dir, dst_entries)
+        self._dentries.pop((src_dir, src_name), None)
+        self._dentries[(dst_dir, dst_name)] = ino
+
+    def _free_inode(self, inode: Inode) -> None:
+        assert self.allocator is not None
+        for _, device_block in self._mapped_blocks(inode):
+            self.allocator.free(device_block)
+        for meta_block in self._metadata_blocks(inode):
+            self.allocator.free(meta_block)
+            self._meta.pop(meta_block, None)
+            self._dirty_meta.discard(meta_block)
+        inode.type = FileType.FREE
+        inode.size = 0
+        inode.direct = [0] * NUM_DIRECT
+        inode.indirect = 0
+        inode.dbl_indirect = 0
+        self.mark_dirty(inode.ino)
+        stale = [key for key, value in self._dentries.items() if value == inode.ino]
+        for key in stale:
+            del self._dentries[key]
+
+    # -------------------------------------------------------------------- sync
+    def sync(self) -> int:
+        """Flush dirty metadata (i-nodes, bitmap, indirect blocks) to the
+        device.  Returns the number of blocks written."""
+        assert self.allocator is not None
+        written = 0
+        per_block = self.sb.block_size // INODE_SIZE
+        dirty_table_blocks = sorted({ino // per_block for ino in self._dirty_inodes})
+        for block_index in dirty_table_blocks:
+            raw = bytearray(self.sb.block_size)
+            for slot in range(per_block):
+                ino = block_index * per_block + slot
+                if ino >= self.sb.inode_count:
+                    break
+                raw[slot * INODE_SIZE : (slot + 1) * INODE_SIZE] = self._inodes[
+                    ino
+                ].pack()
+            self.device.write_block(self.sb.inode_table_start + block_index, bytes(raw))
+            written += 1
+        self._dirty_inodes.clear()
+        for meta_block in sorted(self._dirty_meta):
+            self.device.write_block(meta_block, bytes(self._meta[meta_block]))
+            written += 1
+        self._dirty_meta.clear()
+        if self.allocator.dirty:
+            for i, block in enumerate(
+                self.allocator.to_bitmap(self.sb.block_size, self.sb.bitmap_blocks)
+            ):
+                self.device.write_block(self.sb.bitmap_start + i, block)
+                written += 1
+            self.allocator.mark_clean()
+        return written
+
+    # -------------------------------------------------------------------- fsck
+    def fsck(self) -> List[str]:
+        """Cross-structure invariant check; returns a list of problems
+        (empty = consistent).  Exercised heavily by property tests."""
+        assert self.allocator is not None
+        problems: List[str] = []
+        claimed: Dict[int, int] = {}
+        for inode in self._inodes:
+            if not inode.allocated:
+                continue
+            owned = [b for _, b in self._mapped_blocks(inode)]
+            owned += self._metadata_blocks(inode)
+            for block in owned:
+                if block < self.sb.data_start or block >= self.sb.num_blocks:
+                    problems.append(f"ino {inode.ino}: block {block} out of range")
+                elif not self.allocator.is_allocated(block):
+                    problems.append(
+                        f"ino {inode.ino}: block {block} not marked allocated"
+                    )
+                if block in claimed:
+                    problems.append(
+                        f"block {block} claimed by ino {claimed[block]} "
+                        f"and ino {inode.ino}"
+                    )
+                claimed[block] = inode.ino
+            bs = self.sb.block_size
+            max_block = (inode.size + bs - 1) // bs
+            for file_block, _ in self._mapped_blocks(inode):
+                if file_block >= max_block and inode.size > 0:
+                    problems.append(
+                        f"ino {inode.ino}: block beyond size "
+                        f"(file_block {file_block}, size {inode.size})"
+                    )
+        # Reference counts from the directory tree.
+        refs: Dict[int, int] = {self.sb.root_ino: 1}
+        stack = [self.sb.root_ino]
+        visited = set()
+        while stack:
+            dir_ino = stack.pop()
+            if dir_ino in visited:
+                problems.append(f"directory cycle through ino {dir_ino}")
+                continue
+            visited.add(dir_ino)
+            try:
+                entries = self._dir_entries(dir_ino)
+            except StorageError as exc:
+                problems.append(f"ino {dir_ino}: unreadable directory: {exc}")
+                continue
+            for name, ino in entries.items():
+                if not 0 <= ino < self.sb.inode_count or not self._inodes[ino].allocated:
+                    problems.append(f"dangling entry {name!r} -> ino {ino}")
+                    continue
+                refs[ino] = refs.get(ino, 0) + 1
+                if self._inodes[ino].is_dir:
+                    stack.append(ino)
+        for inode in self._inodes:
+            if inode.ino in (0,):
+                continue
+            if inode.allocated and refs.get(inode.ino, 0) != inode.nlink:
+                problems.append(
+                    f"ino {inode.ino}: nlink {inode.nlink} != "
+                    f"{refs.get(inode.ino, 0)} references"
+                )
+        return problems

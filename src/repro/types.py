@@ -1,0 +1,55 @@
+"""Shared primitive types and constants.
+
+Offsets and sizes are plain ``int`` byte counts.  The page/block size is
+fixed at 4 KiB, matching both the paper's benchmark transfer unit ("4KB
+read"/"4KB write") and the SPARCstation page size.
+"""
+
+from __future__ import annotations
+
+import enum
+
+#: Size in bytes of a VM page and of a file-system block.  The paper's
+#: coherency protocol is per-block; we use one size for both.
+PAGE_SIZE = 4096
+
+#: 1 KiB, used by cost-model per-KB charges.
+KB = 1024
+
+
+class AccessRights(enum.Enum):
+    """Access mode for cached data, channel binds, and mappings.
+
+    The paper's coherency protocol is single-writer/multiple-reader per
+    block, so two modes suffice.
+    """
+
+    READ_ONLY = "read_only"
+    READ_WRITE = "read_write"
+
+    @property
+    def writable(self) -> bool:
+        return self is AccessRights.READ_WRITE
+
+    def covers(self, requested: "AccessRights") -> bool:
+        """True if data held with these rights satisfies ``requested``."""
+        return self is AccessRights.READ_WRITE or requested is AccessRights.READ_ONLY
+
+
+def page_range(offset: int, size: int) -> range:
+    """Page indices touched by the byte range ``[offset, offset+size)``.
+
+    >>> list(page_range(0, 4096))
+    [0]
+    >>> list(page_range(100, 8000))
+    [0, 1]
+    """
+    if size <= 0:
+        return range(0)
+    first = offset // PAGE_SIZE
+    last = (offset + size - 1) // PAGE_SIZE
+    return range(first, last + 1)
+
+
+def page_aligned(offset: int) -> bool:
+    return offset % PAGE_SIZE == 0

@@ -1,0 +1,19 @@
+"""POSIX-style facade over Spring stacks (paper sec. 3.1's UNIX support)."""
+
+from repro.unix.posixlike import (
+    O_APPEND,
+    O_CREAT,
+    O_RDONLY,
+    O_RDWR,
+    O_TRUNC,
+    O_WRONLY,
+    SEEK_CUR,
+    SEEK_END,
+    SEEK_SET,
+    Posix,
+)
+
+__all__ = [
+    "O_APPEND", "O_CREAT", "O_RDONLY", "O_RDWR", "O_TRUNC", "O_WRONLY",
+    "SEEK_CUR", "SEEK_END", "SEEK_SET", "Posix",
+]

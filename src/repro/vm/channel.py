@@ -1,0 +1,67 @@
+"""Pager-cache channels.
+
+"In order to allow data to be coherently cached by more than one VMM,
+there needs to be a two-way connection between the VMM and the provider
+of the data. ... In our system we represent this two-way connection as
+two objects." (paper sec. 3.3.2)
+
+A :class:`Channel` records one such two-way connection: the pager object
+(pager's end, invoked by the cache manager) and the cache object (cache
+manager's end, invoked by the pager), plus the cache-rights object the
+pager hands back from ``bind``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Optional
+
+from repro.ipc.object import SpringObject
+
+if TYPE_CHECKING:
+    from repro.vm.cache_object import CacheObject
+    from repro.vm.pager_object import PagerObject
+
+
+class CacheRights(SpringObject):
+    """Returned by ``bind`` on a memory object.
+
+    Implemented by the cache manager; used by it "to find a pager-cache
+    object connection to use, and to find any pages cached for the memory
+    object" (sec. 3.3.2).  Two *equivalent* memory objects yield the same
+    cache-rights object, which is how shared caching is achieved.
+    """
+
+    def __init__(self, domain, label: str) -> None:
+        super().__init__(domain)
+        self.label = label
+        #: Set by the cache manager when the channel is assembled.
+        self.channel: Optional["Channel"] = None
+
+
+@dataclasses.dataclass
+class Channel:
+    """One pager-cache object connection for one memory object."""
+
+    pager_object: "PagerObject"
+    cache_object: "CacheObject"
+    cache_rights: CacheRights
+    label: str
+    closed: bool = False
+
+    def close(self) -> None:
+        """Tear down both ends."""
+        if self.closed:
+            return
+        self.closed = True
+        self.pager_object.revoke()
+        self.cache_object.revoke()
+        self.cache_rights.revoke()
+
+
+@dataclasses.dataclass
+class BindResult:
+    """Out-parameters of ``memory_object.bind`` (paper Appendix B)."""
+
+    rights: CacheRights
+    offset: int

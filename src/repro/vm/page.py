@@ -1,0 +1,193 @@
+"""Page-granularity data store.
+
+Shared by every cache manager in the system — the VMM's per-object page
+caches, the coherency layer's block cache, COMPFS's uncompressed block
+cache — so the per-block bookkeeping (rights, dirtiness, byte-range
+read/write across page boundaries) is implemented exactly once.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.types import PAGE_SIZE, AccessRights, page_range
+
+
+@dataclasses.dataclass
+class CachedPage:
+    """One page held by a cache manager."""
+
+    data: bytearray
+    rights: AccessRights
+    dirty: bool = False
+
+    def snapshot(self) -> bytes:
+        return bytes(self.data)
+
+
+class PageStore:
+    """A sparse page-indexed store with rights and dirty tracking.
+
+    All offsets are byte offsets into the backing object; pages are
+    :data:`repro.types.PAGE_SIZE` bytes.  Missing pages are faulted in by
+    the owner via the ``fault`` callback given to :meth:`read` /
+    :meth:`write`.
+    """
+
+    def __init__(self) -> None:
+        self._pages: Dict[int, CachedPage] = {}
+
+    # --- introspection ---------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __contains__(self, index: int) -> bool:
+        return index in self._pages
+
+    def get(self, index: int) -> Optional[CachedPage]:
+        return self._pages.get(index)
+
+    def pages(self) -> Iterator[Tuple[int, CachedPage]]:
+        return iter(sorted(self._pages.items()))
+
+    def dirty_pages(self) -> List[Tuple[int, CachedPage]]:
+        return [(i, p) for i, p in sorted(self._pages.items()) if p.dirty]
+
+    def resident_bytes(self) -> int:
+        return len(self._pages) * PAGE_SIZE
+
+    def _tracked_pages(self, offset: int, size: int):
+        """Resident pages intersecting the byte range.  Coherency actions
+        may cover 'the whole file' (size 2**62); iterate resident keys,
+        never the raw page range."""
+        if size <= 0:
+            return []
+        first = offset // PAGE_SIZE
+        last = (offset + size - 1) // PAGE_SIZE
+        return [p for p in self._pages if first <= p <= last]
+
+    # --- page-level mutation ----------------------------------------------
+    def install(
+        self, index: int, data: bytes, rights: AccessRights, dirty: bool = False
+    ) -> CachedPage:
+        """Install (or replace) a page.  ``data`` shorter than a page is
+        zero-padded — pagers return short data at EOF."""
+        buf = bytearray(PAGE_SIZE)
+        buf[: len(data)] = data
+        page = CachedPage(buf, rights, dirty)
+        self._pages[index] = page
+        return page
+
+    def drop(self, index: int) -> Optional[CachedPage]:
+        return self._pages.pop(index, None)
+
+    def drop_range(self, offset: int, size: int) -> List[Tuple[int, CachedPage]]:
+        dropped = []
+        for index in sorted(self._tracked_pages(offset, size)):
+            dropped.append((index, self._pages.pop(index)))
+        return dropped
+
+    def zero_range(self, offset: int, size: int) -> None:
+        """Mark a byte range as zero-filled (paper Appendix A zero_fill).
+        Present pages are zeroed in place and marked clean; absent pages
+        are installed as clean read-only zeros."""
+        for index in page_range(offset, size):
+            page = self._pages.get(index)
+            if page is None:
+                self.install(index, b"", AccessRights.READ_ONLY)
+            else:
+                page.data[:] = bytes(PAGE_SIZE)
+                page.dirty = False
+
+    # --- coherency-action helpers ------------------------------------------
+    def collect_modified(self, offset: int, size: int) -> Dict[int, bytes]:
+        """Data of dirty pages in the range, keyed by page index."""
+        modified = {}
+        for index in self._tracked_pages(offset, size):
+            page = self._pages[index]
+            if page.dirty:
+                modified[index] = page.snapshot()
+        return modified
+
+    def clean_range(self, offset: int, size: int) -> None:
+        for index in self._tracked_pages(offset, size):
+            self._pages[index].dirty = False
+
+    def downgrade_range(self, offset: int, size: int) -> None:
+        """RW -> RO over the byte range (deny_writes)."""
+        for index in self._tracked_pages(offset, size):
+            self._pages[index].rights = AccessRights.READ_ONLY
+
+    def truncate_to(self, length: int) -> None:
+        """Discard cached data beyond ``length``: whole pages past the
+        boundary are dropped; the tail of a partial boundary page is
+        zeroed (so a later extension reads zeros, not stale bytes).  Data
+        below ``length`` is preserved — unlike drop_range, which would
+        discard the whole boundary page."""
+        boundary_page, within = divmod(length, PAGE_SIZE)
+        for index in [p for p in self._pages if p > boundary_page]:
+            del self._pages[index]
+        if within == 0:
+            self._pages.pop(boundary_page, None)
+        else:
+            page = self._pages.get(boundary_page)
+            if page is not None:
+                page.data[within:] = bytes(PAGE_SIZE - within)
+
+    def clear(self) -> List[Tuple[int, CachedPage]]:
+        everything = sorted(self._pages.items())
+        self._pages.clear()
+        return everything
+
+    # --- byte-range access ---------------------------------------------------
+    def read(
+        self,
+        offset: int,
+        size: int,
+        fault: Callable[[int, AccessRights], CachedPage],
+    ) -> bytes:
+        """Copy ``size`` bytes starting at ``offset`` out of the store,
+        calling ``fault(page_index, READ_ONLY)`` for each missing page."""
+        out = bytearray()
+        remaining = size
+        position = offset
+        while remaining > 0:
+            index = position // PAGE_SIZE
+            page = self._pages.get(index)
+            if page is None:
+                page = fault(index, AccessRights.READ_ONLY)
+            start = position % PAGE_SIZE
+            take = min(PAGE_SIZE - start, remaining)
+            out += page.data[start : start + take]
+            position += take
+            remaining -= take
+        return bytes(out)
+
+    def write(
+        self,
+        offset: int,
+        data: bytes,
+        fault: Callable[[int, AccessRights], CachedPage],
+    ) -> None:
+        """Copy ``data`` into the store starting at ``offset``.
+
+        Every touched page must be writable: missing pages and read-only
+        pages are (re)faulted with READ_WRITE via ``fault``; pages are
+        marked dirty.
+        """
+        remaining = len(data)
+        position = offset
+        consumed = 0
+        while remaining > 0:
+            index = position // PAGE_SIZE
+            page = self._pages.get(index)
+            if page is None or not page.rights.writable:
+                page = fault(index, AccessRights.READ_WRITE)
+            start = position % PAGE_SIZE
+            take = min(PAGE_SIZE - start, remaining)
+            page.data[start : start + take] = data[consumed : consumed + take]
+            page.dirty = True
+            position += take
+            consumed += take
+            remaining -= take

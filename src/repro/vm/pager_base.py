@@ -1,0 +1,79 @@
+"""Pager-side channel bookkeeping.
+
+Every pager in the system — the disk layer, the coherency layer, COMPFS,
+DFS — must implement the same bind-time handshake (paper sec. 3.3.2):
+
+    "When a pager receives a bind operation from a VMM, it must determine
+    if there is already a pager-cache object connection for the memory
+    object at the given VMM.  If there is no connection, the pager
+    contacts the VMM, and the VMM and the pager exchange pager, cache,
+    and cache_rights objects."
+
+:class:`ChannelRegistry` implements that determination and exchange once
+for all of them, keyed by (source, cache manager), so equivalent memory
+objects bound by the same cache manager share one channel — and hence
+one set of cached pages.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Tuple
+
+from repro.vm.channel import Channel
+from repro.vm.memory_object import CacheManager
+from repro.vm.pager_object import PagerObject
+
+
+class ChannelRegistry:
+    """Channels a pager has open, keyed by (source key, cache manager)."""
+
+    def __init__(self) -> None:
+        self._channels: Dict[Tuple[Hashable, int], Channel] = {}
+
+    def get_or_create(
+        self,
+        source_key: Hashable,
+        cache_manager: CacheManager,
+        make_pager_object: Callable[[], PagerObject],
+        label: str,
+    ) -> Tuple[Channel, bool]:
+        """Find the existing channel for ``source_key`` at
+        ``cache_manager``, or run the exchange to create one.
+
+        Returns ``(channel, created)``.
+        """
+        key = (source_key, cache_manager.oid)
+        channel = self._channels.get(key)
+        if channel is not None and not channel.closed:
+            return channel, False
+        pager_object = make_pager_object()
+        channel = cache_manager.accept_channel(pager_object, label)
+        self._channels[key] = channel
+        return channel, True
+
+    def channels_for(self, source_key: Hashable) -> List[Channel]:
+        """All live channels for one source — the fan-out set for
+        coherency actions."""
+        return [
+            channel
+            for (key, _), channel in self._channels.items()
+            if key == source_key and not channel.closed
+        ]
+
+    def all_channels(self) -> List[Channel]:
+        return [c for c in self._channels.values() if not c.closed]
+
+    def forget(self, channel: Channel) -> None:
+        """Drop a channel after the cache manager called
+        done_with_pager_object."""
+        stale = [k for k, c in self._channels.items() if c is channel]
+        for key in stale:
+            del self._channels[key]
+
+    def close_all(self) -> None:
+        for channel in list(self._channels.values()):
+            channel.close()
+        self._channels.clear()
+
+    def __len__(self) -> int:
+        return len([c for c in self._channels.values() if not c.closed])

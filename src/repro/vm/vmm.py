@@ -1,0 +1,366 @@
+"""The per-node virtual memory manager.
+
+"A per-node virtual memory manager (VMM) is responsible for handling
+mapping, sharing, and caching of local memory.  The VMM depends on
+external pagers for accessing backing store and maintaining
+inter-machine coherency." (paper sec. 3.3.1)
+
+The VMM is a cache manager (it implements cache objects).  When asked to
+map a memory object it calls ``bind`` on it; the returned cache-rights
+object locates the per-source :class:`VmCache`, so equivalent memory
+objects — and binds forwarded by layers like DFS — share cached pages.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.errors import ChannelClosedError, OutOfRangeError, VmError
+from repro.ipc.invocation import operation
+from repro.ipc.object import SpringObject
+from repro.types import PAGE_SIZE, AccessRights
+from repro.vm.cache_object import CacheObject
+from repro.vm.channel import CacheRights, Channel
+from repro.vm.memory_object import CacheManager, MemoryObject
+from repro.vm.page import CachedPage, PageStore
+from repro.vm.pager_object import PagerObject
+
+
+class VmCache:
+    """The VMM's cached pages for one bound source (one cache-rights
+    object).  Several mappings — from any number of address spaces — may
+    share one VmCache; that sharing is local coherency."""
+
+    def __init__(self, vmm: "Vmm", channel_label: str) -> None:
+        self.vmm = vmm
+        self.label = channel_label
+        self.store = PageStore()
+        self.channel: Optional[Channel] = None
+        self.destroyed = False
+        self.mappings = 0
+        self._last_fault_index: Optional[int] = None
+
+    @property
+    def pager(self) -> PagerObject:
+        assert self.channel is not None
+        return self.channel.pager_object
+
+    def check_live(self) -> None:
+        if self.destroyed:
+            raise ChannelClosedError(f"cache for {self.label!r} was destroyed")
+
+    # --- faulting ------------------------------------------------------------
+    def fault(self, index: int, access: AccessRights) -> CachedPage:
+        """Bring a page in from the pager with at least ``access``.
+
+        With read-ahead enabled on the VMM (``vmm.readahead_pages > 0``)
+        a sequential fault pattern issues a ranged page-in and installs
+        the extra pages speculatively (clean, same access).
+        """
+        self.check_live()
+        world = self.vmm.world
+        world.charge.vm_fault()
+        world.counters.inc("vmm.fault")
+        if self.vmm.capacity_pages is not None:
+            self.vmm.reclaim(pages_needed=1, protect=(self, index))
+        offset = index * PAGE_SIZE
+        window = self.vmm.readahead_pages
+        sequential = self._last_fault_index is not None and (
+            index == self._last_fault_index + 1
+        )
+        self._last_fault_index = index
+        if window > 0 and sequential:
+            world.counters.inc("vmm.readahead")
+            data = self.pager.page_in_range(
+                offset, PAGE_SIZE, (1 + window) * PAGE_SIZE, access
+            )
+            extra_pages = max(0, (len(data) - 1) // PAGE_SIZE)
+            for i in range(1, extra_pages + 1):
+                if (index + i) not in self.store:
+                    self.store.install(
+                        index + i,
+                        data[i * PAGE_SIZE : (i + 1) * PAGE_SIZE],
+                        access,
+                    )
+            # The next fault of a sequential scan lands after the
+            # prefetched window; treat it as sequential too.
+            self._last_fault_index = index + extra_pages
+            return self.store.install(index, data[:PAGE_SIZE], access)
+        data = self.pager.page_in(offset, PAGE_SIZE, access)
+        return self.store.install(index, data, access)
+
+    # --- write-back ------------------------------------------------------------
+    def sync(self) -> int:
+        """Push dirty pages to the pager, retaining them in the same
+        mode.  Returns the number of pages written."""
+        self.check_live()
+        dirty = self.store.dirty_pages()
+        for index, page in dirty:
+            self.pager.sync(index * PAGE_SIZE, PAGE_SIZE, page.snapshot())
+            page.dirty = False
+        return len(dirty)
+
+    def flush(self) -> int:
+        """Push dirty pages and drop everything (page_out semantics)."""
+        self.check_live()
+        count = 0
+        for index, page in self.store.clear():
+            if page.dirty:
+                self.pager.page_out(index * PAGE_SIZE, PAGE_SIZE, page.snapshot())
+                count += 1
+        return count
+
+
+class VmmCacheObject(CacheObject):
+    """The VMM's end of one pager-cache channel (paper Appendix A ops
+    applied to the corresponding :class:`VmCache`)."""
+
+    def __init__(self, domain, cache: VmCache) -> None:
+        super().__init__(domain)
+        self.cache = cache
+
+    @operation
+    def flush_back(self, offset: int, size: int) -> Dict[int, bytes]:
+        modified = self.cache.store.collect_modified(offset, size)
+        self.cache.store.drop_range(offset, size)
+        self.world.counters.inc("vmm.flush_back")
+        return modified
+
+    @operation
+    def deny_writes(self, offset: int, size: int) -> Dict[int, bytes]:
+        modified = self.cache.store.collect_modified(offset, size)
+        self.cache.store.downgrade_range(offset, size)
+        self.cache.store.clean_range(offset, size)
+        self.world.counters.inc("vmm.deny_writes")
+        return modified
+
+    @operation
+    def write_back(self, offset: int, size: int) -> Dict[int, bytes]:
+        modified = self.cache.store.collect_modified(offset, size)
+        self.cache.store.clean_range(offset, size)
+        self.world.counters.inc("vmm.write_back")
+        return modified
+
+    @operation
+    def delete_range(self, offset: int, size: int) -> None:
+        self.cache.store.drop_range(offset, size)
+        self.world.counters.inc("vmm.delete_range")
+
+    @operation
+    def zero_fill(self, offset: int, size: int) -> None:
+        self.cache.store.zero_range(offset, size)
+        self.world.counters.inc("vmm.zero_fill")
+
+    @operation
+    def populate(
+        self, offset: int, size: int, access: AccessRights, data: bytes
+    ) -> None:
+        if offset % PAGE_SIZE != 0:
+            raise OutOfRangeError("populate must be page-aligned")
+        for i in range((size + PAGE_SIZE - 1) // PAGE_SIZE):
+            chunk = data[i * PAGE_SIZE : (i + 1) * PAGE_SIZE]
+            self.cache.store.install(offset // PAGE_SIZE + i, chunk, access)
+        self.world.counters.inc("vmm.populate")
+
+    @operation
+    def destroy_cache(self) -> None:
+        self.cache.store.clear()
+        self.cache.destroyed = True
+        self.world.counters.inc("vmm.destroy_cache")
+
+
+@dataclasses.dataclass
+class Mapping:
+    """A memory object mapped into an address space.
+
+    ``read``/``write`` simulate user loads and stores: they touch the
+    shared :class:`VmCache` directly (no invocation), faulting missing or
+    insufficient pages from the pager.
+    """
+
+    address_space: "AddressSpace"
+    cache: VmCache
+    object_offset: int
+    length: int
+    access: AccessRights
+    unmapped: bool = False
+
+    def _check(self, offset: int, size: int, write: bool) -> None:
+        if self.unmapped:
+            raise VmError("access through unmapped mapping")
+        if write and not self.access.writable:
+            raise VmError("write through read-only mapping")
+        if offset < 0 or size < 0 or offset + size > self.length:
+            raise OutOfRangeError(
+                f"[{offset}, {offset + size}) outside mapping of {self.length}"
+            )
+
+    def read(self, offset: int, size: int) -> bytes:
+        self._check(offset, size, write=False)
+        world = self.cache.vmm.world
+        data = self.cache.store.read(self.object_offset + offset, size, self.cache.fault)
+        world.charge.memcpy(size)
+        return data
+
+    def write(self, offset: int, data: bytes) -> None:
+        self._check(offset, len(data), write=True)
+        world = self.cache.vmm.world
+        self.cache.store.write(self.object_offset + offset, data, self.cache.fault)
+        world.charge.memcpy(len(data))
+
+
+class AddressSpace(SpringObject):
+    """An address space object, implemented by the VMM (paper 3.3.1)."""
+
+    def __init__(self, vmm: "Vmm", owner_name: str) -> None:
+        super().__init__(vmm.domain)
+        self.vmm = vmm
+        self.owner_name = owner_name
+        self.mappings: List[Mapping] = []
+
+    @operation
+    def map(
+        self,
+        memory_object: MemoryObject,
+        access: AccessRights,
+        offset: int = 0,
+        length: Optional[int] = None,
+    ) -> Mapping:
+        """Map ``memory_object`` into this address space.
+
+        The VMM binds to the memory object; the returned cache-rights
+        object selects (or creates) the shared :class:`VmCache`.
+        """
+        if length is None:
+            length = memory_object.get_length() - offset
+        if length < 0:
+            raise OutOfRangeError("negative mapping length")
+        cache = self.vmm.bind_to(memory_object, access, offset, length)
+        mapping = Mapping(self, cache, offset, length, access)
+        cache.mappings += 1
+        self.mappings.append(mapping)
+        return mapping
+
+    @operation
+    def unmap(self, mapping: Mapping) -> None:
+        if mapping.unmapped:
+            return
+        mapping.unmapped = True
+        mapping.cache.mappings -= 1
+        self.mappings.remove(mapping)
+
+
+class Vmm(CacheManager):
+    """The per-node VMM: address spaces, mapping, and local page caching."""
+
+    def __init__(self, nucleus_domain) -> None:
+        super().__init__(nucleus_domain)
+        self._caches_by_rights: Dict[int, VmCache] = {}
+        #: Read-ahead window (pages) for sequential fault streams; 0
+        #: disables it (the default — it is the paper's sec. 8 extension
+        #: and is ablated separately from the Table 2 reproduction).
+        self.readahead_pages = 0
+        #: Physical-memory bound in pages (None = unlimited).  When
+        #: faults would exceed it, the VMM reclaims: clean pages are
+        #: dropped, dirty pages written out through their pagers.
+        self.capacity_pages: Optional[int] = None
+        self.evictions = 0
+
+    # --- cache-manager side of channel setup ----------------------------------
+    @operation
+    def accept_channel(self, pager_object: PagerObject, label: str) -> Channel:
+        cache = VmCache(self, label)
+        cache_object = VmmCacheObject(self.domain, cache)
+        rights = CacheRights(self.domain, label)
+        channel = Channel(pager_object, cache_object, rights, label)
+        rights.channel = channel
+        cache.channel = channel
+        self._caches_by_rights[rights.oid] = cache
+        self.world.counters.inc("vmm.channel_created")
+        return channel
+
+    # --- mapping support --------------------------------------------------------
+    def bind_to(
+        self,
+        memory_object: MemoryObject,
+        access: AccessRights,
+        offset: int,
+        length: int,
+    ) -> VmCache:
+        """Bind to a memory object and return the VmCache its cache-rights
+        object designates."""
+        self.world.charge.bind()
+        result = memory_object.bind(self, access, offset, length)
+        cache = self._caches_by_rights.get(result.rights.oid)
+        if cache is None:
+            raise VmError(
+                "bind returned cache_rights from a different cache manager"
+            )
+        cache.check_live()
+        return cache
+
+    @operation
+    def create_address_space(self, owner_name: str) -> AddressSpace:
+        return AddressSpace(self, owner_name)
+
+    # --- maintenance ----------------------------------------------------------
+    def sync_all(self) -> int:
+        """Write back all dirty pages in all caches (shutdown/test aid)."""
+        return sum(
+            cache.sync()
+            for cache in self._caches_by_rights.values()
+            if not cache.destroyed
+        )
+
+    def reclaim(
+        self,
+        pages_needed: int = 1,
+        protect: Optional[tuple] = None,
+    ) -> int:
+        """Free pages until ``pages_needed`` fit under capacity_pages.
+
+        Two passes, deterministic order (caches in creation order, pages
+        ascending): clean pages are simply dropped; if that is not
+        enough, dirty pages are paged out.  ``protect`` is an optional
+        ``(cache, page_index)`` the current fault is about to install —
+        that one slot is never chosen as a victim.  Returns the number
+        of pages evicted.
+        """
+        if self.capacity_pages is None:
+            return 0
+        target = self.capacity_pages - pages_needed
+        evicted = 0
+
+        def over() -> bool:
+            return self.resident_pages() > target
+
+        for dirty_pass in (False, True):
+            if not over():
+                break
+            for cache in self.live_caches():
+                for index, page in list(cache.store.pages()):
+                    if not over():
+                        break
+                    if protect is not None and (cache, index) == protect:
+                        continue
+                    if page.dirty != dirty_pass:
+                        continue
+                    if page.dirty:
+                        cache.pager.page_out(
+                            index * PAGE_SIZE, PAGE_SIZE, page.snapshot()
+                        )
+                    cache.store.drop(index)
+                    evicted += 1
+        self.evictions += evicted
+        self.world.counters.inc("vmm.evicted", evicted)
+        return evicted
+
+    def cache_for_rights(self, rights: CacheRights) -> Optional[VmCache]:
+        return self._caches_by_rights.get(rights.oid)
+
+    def live_caches(self) -> List[VmCache]:
+        return [c for c in self._caches_by_rights.values() if not c.destroyed]
+
+    def resident_pages(self) -> int:
+        return sum(len(c.store) for c in self.live_caches())

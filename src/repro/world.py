@@ -1,0 +1,116 @@
+"""The simulation world.
+
+A :class:`World` is one complete simulated installation: a virtual
+clock, a cost model, a network, and a set of nodes each booted with a
+nucleus domain, a VMM, and the standard name-space contexts.  Every
+benchmark, example, and integration test starts by constructing a World.
+
+The equivalent in the paper is the physical testbed; the World's
+determinism (no wall clock, no global randomness) is what makes the
+reproduced tables exactly repeatable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.ipc.domain import Credentials, Domain
+from repro.ipc.network import Network
+from repro.ipc.node import Node
+from repro.sim.clock import SimClock
+from repro.sim.costs import Charger, CostModel
+
+
+class Counters:
+    """Named event counters (invocation paths, protocol events, ...).
+
+    File system layers and the VM use these to expose *mechanism*
+    observables — e.g. how many page-ins crossed a layer boundary — which
+    several figure reproductions assert on.
+    """
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self._counts[name] = self._counts.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def reset(self) -> None:
+        self._counts.clear()
+
+    def delta_since(self, snapshot: Dict[str, int]) -> Dict[str, int]:
+        """Counters incremented since ``snapshot`` was taken."""
+        return {
+            name: value - snapshot.get(name, 0)
+            for name, value in self._counts.items()
+            if value - snapshot.get(name, 0) != 0
+        }
+
+
+class World:
+    """One simulated installation of Spring machines."""
+
+    def __init__(self, cost_model: Optional[CostModel] = None) -> None:
+        self.clock = SimClock()
+        self.cost_model = cost_model or CostModel()
+        self.charge = Charger(self.clock, self.cost_model)
+        self.network = Network(self)
+        self.counters = Counters()
+        self.nodes: Dict[str, Node] = {}
+        self._next_oid = 1
+        self._name_caches: List[object] = []
+        #: Optional event tracing (see repro.sim.trace); None = off.
+        self.tracer = None
+
+    def enable_tracing(self, capacity: int = 10_000):
+        """Turn on event tracing; returns the tracer."""
+        from repro.sim.trace import Tracer
+
+        self.tracer = Tracer(capacity)
+        return self.tracer
+
+    def trace(self, category: str, name: str, **detail: object) -> None:
+        if self.tracer is not None:
+            self.tracer.record(self.clock.now_us, category, name, **detail)
+
+    # --- identity ------------------------------------------------------------
+    def next_oid(self) -> int:
+        oid = self._next_oid
+        self._next_oid += 1
+        return oid
+
+    # --- topology ------------------------------------------------------------
+    def create_node(self, name: str) -> Node:
+        """Boot a node: nucleus domain, VMM, and standard name space."""
+        if name in self.nodes:
+            raise ValueError(f"node {name!r} already exists")
+        node = Node(self, name)
+        self.nodes[name] = node
+        # Late imports: the VMM and naming bootstrap sit above ipc in the
+        # layering but below World in the public API.
+        from repro.vm.vmm import Vmm
+
+        node.vmm = Vmm(node.nucleus)
+        from repro.naming.bootstrap import boot_naming
+
+        boot_naming(node)
+        return node
+
+    def create_user_domain(self, node: Node, name: str = "user") -> Domain:
+        """Convenience: an unprivileged client domain on ``node``."""
+        return node.create_domain(name, Credentials(name, privileged=False))
+
+    # --- name-cache invalidation fan-out ---------------------------------------
+    def register_name_cache(self, cache: object) -> None:
+        self._name_caches.append(cache)
+
+    def name_event(self, context: object, component: str) -> None:
+        """A context binding changed; notify every name cache."""
+        for cache in self._name_caches:
+            cache.on_name_event(context, component)  # type: ignore[attr-defined]

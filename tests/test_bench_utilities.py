@@ -1,0 +1,170 @@
+"""Unit tests for the bench harness, workload generators, world
+counters, and the report generator."""
+
+import zlib
+
+import pytest
+
+from repro.bench.harness import (
+    Measurement,
+    TableFormatter,
+    measure,
+    measure_once,
+    normalized,
+)
+from repro.bench.workloads import (
+    build_tree_spec,
+    compressible_bytes,
+    file_names,
+    hot_cold_accesses,
+    incompressible_bytes,
+    pattern_bytes,
+    random_ranges,
+    sequential_ranges,
+)
+from repro.types import PAGE_SIZE
+from repro.world import World
+
+
+class TestMeasure:
+    def test_mean_of_constant_op(self, world):
+        def op():
+            world.clock.advance(10, "cpu")
+
+        result = measure(world, "op", op, iterations=5, runs=3)
+        assert result.mean_us == 10
+        assert result.runs == 3 and result.iterations == 5
+
+    def test_warmup_not_counted(self, world):
+        state = {"first": True}
+
+        def op():
+            if state["first"]:
+                world.clock.advance(1000, "cpu")  # cold first call
+                state["first"] = False
+            else:
+                world.clock.advance(10, "cpu")
+
+        result = measure(world, "op", op, iterations=10, runs=2, warmup=1)
+        assert result.mean_us == 10
+
+    def test_breakdown_per_iteration(self, world):
+        def op():
+            world.clock.advance(6, "disk")
+            world.clock.advance(4, "cpu")
+
+        result = measure(world, "op", op, iterations=4, runs=2)
+        assert result.breakdown["disk"] == pytest.approx(6)
+        assert result.breakdown["cpu"] == pytest.approx(4)
+
+    def test_measure_once(self, world):
+        result = measure_once(world, "x", lambda: world.clock.advance(7))
+        assert result.mean_us == 7
+
+    def test_mean_ms(self):
+        assert Measurement("x", 1500.0, 1, 1, {}).mean_ms == 1.5
+
+
+class TestTableFormatter:
+    def test_render_aligns_columns(self):
+        table = TableFormatter("T", ["a", "b"])
+        table.add_row("row1", [100.0, 2000.0])
+        table.add_row("longer-row", [1.0, 1_000_000.0])
+        out = table.render()
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "100.0 us" in out
+        assert "1000.00 ms" in out  # >= 1000 us rendered in ms
+        widths = {len(line) for line in lines[2:]}
+        assert len(widths) == 1  # all rows same width
+
+    def test_normalized(self):
+        assert normalized(139.0, 100.0) == "139%"
+        assert normalized(5, 0) == "n/a"
+
+
+class TestWorkloads:
+    def test_compressible_compresses(self):
+        blob = compressible_bytes(50_000, seed=1)
+        assert len(zlib.compress(blob)) < len(blob) / 2
+
+    def test_incompressible_does_not(self):
+        blob = incompressible_bytes(50_000, seed=1)
+        assert len(zlib.compress(blob)) > len(blob) * 0.9
+
+    def test_deterministic_by_seed(self):
+        assert compressible_bytes(1000, seed=3) == compressible_bytes(1000, seed=3)
+        assert compressible_bytes(1000, seed=3) != compressible_bytes(1000, seed=4)
+        assert incompressible_bytes(100, 1) == incompressible_bytes(100, 1)
+
+    def test_pattern_bytes_self_describing(self):
+        a = pattern_bytes(1000, tag=1)
+        b = pattern_bytes(1000, tag=2)
+        assert a != b
+        assert pattern_bytes(1000, tag=1) == a
+        assert len(a) == 1000
+
+    def test_file_names_unique(self):
+        names = file_names(100)
+        assert len(set(names)) == 100
+
+    def test_sequential_ranges_cover_file(self):
+        ranges = list(sequential_ranges(3 * PAGE_SIZE + 100))
+        assert sum(size for _, size in ranges) == 3 * PAGE_SIZE + 100
+        assert ranges[0] == (0, PAGE_SIZE)
+        assert ranges[-1][1] == 100
+
+    def test_random_ranges_aligned_and_bounded(self):
+        for offset, size in random_ranges(10 * PAGE_SIZE, 50, seed=2):
+            assert offset % PAGE_SIZE == 0
+            assert offset + size <= 10 * PAGE_SIZE
+
+    def test_hot_cold_skew(self):
+        files = file_names(100)
+        accesses = list(hot_cold_accesses(files, 2000, seed=5))
+        hot = set(files[:10])
+        hot_fraction = sum(1 for a in accesses if a in hot) / len(accesses)
+        assert hot_fraction > 0.8
+
+    def test_tree_spec_shape(self):
+        spec = build_tree_spec(depth=2, fanout=2, files_per_dir=3)
+        dirs = [path for kind, path in spec if kind == "dir"]
+        files = [path for kind, path in spec if kind == "file"]
+        assert len(dirs) == 2 + 4  # level0: 2, level1: 4
+        assert len(files) == 3 * (1 + 2 + 4)
+
+
+class TestCounters:
+    def test_inc_amount(self, world):
+        world.counters.inc("x", 5)
+        world.counters.inc("x")
+        assert world.counters.get("x") == 6
+
+    def test_reset(self, world):
+        world.counters.inc("x")
+        world.counters.reset()
+        assert world.counters.get("x") == 0
+
+    def test_delta_since_ignores_unchanged(self, world):
+        world.counters.inc("a")
+        snapshot = world.counters.snapshot()
+        world.counters.inc("b", 2)
+        assert world.counters.delta_since(snapshot) == {"b": 2}
+
+
+class TestReport:
+    def test_quick_report_runs(self, capsys):
+        from repro.report import main
+
+        assert main(["--quick", "--figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 10" in out
+        assert "report complete" in out
+
+    def test_tables_only(self, capsys):
+        from repro.report import main
+
+        assert main(["--quick", "--tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out and "Table 3" in out
+        assert "Figure 5" not in out

@@ -1,0 +1,146 @@
+"""Tests for the pluggable coherency protocols: both keep every view
+correct; they differ in how much they invalidate (false sharing)."""
+
+import pytest
+
+from repro.fs.coherency import CoherencyLayer
+from repro.fs.disk_layer import DiskLayer
+from repro.fs.holders import (
+    BlockHolderTable,
+    WholeFileHolderTable,
+    make_holder_table,
+)
+from repro.ipc.domain import Credentials
+from repro.storage.block_device import RamDevice
+from repro.types import PAGE_SIZE, AccessRights
+from repro.world import World
+
+RW = AccessRights.READ_WRITE
+
+
+def build(protocol: str):
+    world = World()
+    node = world.create_node("proto")
+    device = RamDevice(node.nucleus, "ram", 8192)
+    disk = DiskLayer(node.create_domain("disk"), device, format_device=True)
+    coherency = CoherencyLayer(
+        node.create_domain("coh", Credentials("c", True)), protocol=protocol
+    )
+    coherency.stack_on(disk)
+    user = world.create_user_domain(node)
+    with user.activate():
+        f = coherency.create_file("shared.bin")
+        f.write(0, bytes(8 * PAGE_SIZE))
+    return world, node, coherency, user
+
+
+class TestFactory:
+    def test_per_block(self):
+        assert isinstance(make_holder_table("per_block"), BlockHolderTable)
+
+    def test_whole_file(self):
+        assert isinstance(make_holder_table("whole_file"), WholeFileHolderTable)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_holder_table("optimistic")
+
+
+@pytest.mark.parametrize("protocol", ["per_block", "whole_file"])
+class TestBothProtocolsAreCorrect:
+    def test_mapping_and_file_views_coherent(self, protocol):
+        world, node, coherency, user = build(protocol)
+        with user.activate():
+            f = coherency.resolve("shared.bin")
+            mapping = node.vmm.create_address_space("t").map(f, RW)
+            mapping.write(0, b"VIA MAPPING")
+            assert coherency.resolve("shared.bin").read(0, 11) == b"VIA MAPPING"
+            f.write(0, b"VIA FILE IF")
+            assert mapping.read(0, 11) == b"VIA FILE IF"
+
+    def test_two_mappings_coherent(self, protocol):
+        world, node, coherency, user = build(protocol)
+        with user.activate():
+            m1 = node.vmm.create_address_space("a").map(
+                coherency.resolve("shared.bin"), RW
+            )
+            m2 = node.vmm.create_address_space("b").map(
+                coherency.resolve("shared.bin"), RW
+            )
+            # Distinct caches only if the handles are distinct sources;
+            # here they are equivalent, so force separate channels via a
+            # second coherency state is not possible — both mappings
+            # share a cache.  Write/read still must agree.
+            m1.write(PAGE_SIZE, b"one")
+            assert m2.read(PAGE_SIZE, 3) == b"one"
+
+
+class TestFalseSharing:
+    """Two VMM-level writers on DIFFERENT blocks of the same file:
+    per-block keeps them independent; whole-file ping-pongs."""
+
+    def _two_node_writers(self, protocol):
+        from repro.fs.dfs import DfsLayer, mount_remote
+
+        world = World()
+        server = world.create_node("server")
+        clientA = world.create_node("clientA")
+        clientB = world.create_node("clientB")
+        device = RamDevice(server.nucleus, "ram", 8192)
+        disk = DiskLayer(server.create_domain("disk"), device, format_device=True)
+        coherency = CoherencyLayer(
+            server.create_domain("coh", Credentials("c", True)),
+            protocol=protocol,
+        )
+        coherency.stack_on(disk)
+        server.fs_context.bind("fs", coherency)
+        dfs = DfsLayer(
+            server.create_domain("dfs", Credentials("d", True)),
+            protocol=protocol,
+        )
+        dfs.stack_on(coherency)
+        server.fs_context.bind("dfs", dfs)
+        mount_remote(clientA, server, "dfs")
+        mount_remote(clientB, server, "dfs")
+        su = world.create_user_domain(server, "su")
+        with su.activate():
+            dfs.create_file("hot.bin").write(0, bytes(8 * PAGE_SIZE))
+        mappings = []
+        for client, name in ((clientA, "ua"), (clientB, "ub")):
+            cu = world.create_user_domain(client, name)
+            with cu.activate():
+                rf = client.fs_context.resolve("dfs@server").resolve("hot.bin")
+                mappings.append(
+                    (cu, client.vmm.create_address_space(name).map(rf, RW))
+                )
+        return world, mappings
+
+    @pytest.mark.parametrize("protocol", ["per_block", "whole_file"])
+    def test_disjoint_writes_correct_under_both(self, protocol):
+        world, mappings = self._two_node_writers(protocol)
+        (cu_a, m_a), (cu_b, m_b) = mappings
+        for round_number in range(4):
+            with cu_a.activate():
+                m_a.write(0, bytes([round_number + 1]) * 64)
+            with cu_b.activate():
+                m_b.write(4 * PAGE_SIZE, bytes([round_number + 101]) * 64)
+        with cu_a.activate():
+            assert m_a.read(0, 1) == bytes([4])
+            assert m_a.read(4 * PAGE_SIZE, 1) == bytes([104])
+
+    def test_whole_file_causes_more_coherency_traffic(self):
+        costs = {}
+        for protocol in ("per_block", "whole_file"):
+            world, mappings = self._two_node_writers(protocol)
+            (cu_a, m_a), (cu_b, m_b) = mappings
+            snapshot = world.counters.snapshot()
+            for round_number in range(4):
+                with cu_a.activate():
+                    m_a.write(0, b"A" * 64)
+                with cu_b.activate():
+                    m_b.write(4 * PAGE_SIZE, b"B" * 64)
+            delta = world.counters.delta_since(snapshot)
+            costs[protocol] = delta.get("vmm.flush_back", 0) + delta.get(
+                "vmm.fault", 0
+            )
+        assert costs["whole_file"] > costs["per_block"]

@@ -1,0 +1,137 @@
+"""Cost-accounting identity tests: the virtual clock's category
+breakdown must equal the mechanism counts times the model constants for
+known flows — this pins the Table 2/3 reproduction to mechanisms rather
+than tuned totals."""
+
+import pytest
+
+from repro.fs.sfs import create_sfs
+from repro.sim.clock import StopWatch
+from repro.storage.block_device import BlockDevice, RamDevice
+from repro.types import PAGE_SIZE
+from repro.world import World
+
+
+@pytest.fixture
+def warm(world, node, device, user):
+    stack = create_sfs(node, device, placement="two_domains")
+    with user.activate():
+        f = stack.top.create_file("c.dat")
+        f.write(0, b"c" * PAGE_SIZE)
+        f.read(0, PAGE_SIZE)
+        f.get_attributes()
+    return stack, user
+
+
+class TestBreakdownIdentities:
+    def test_breakdown_sums_to_elapsed(self, world, warm, user):
+        stack, user = warm
+        with user.activate():
+            f = stack.top.resolve("c.dat")
+            watch = StopWatch(world.clock)
+            with watch:
+                f.read(0, PAGE_SIZE)
+                f.write(0, b"w" * PAGE_SIZE)
+                f.get_attributes()
+        assert sum(watch.breakdown.values()) == pytest.approx(watch.elapsed_us)
+
+    def test_cached_read_cost_formula(self, world, warm, user):
+        """One crossing + read CPU + one 4KB copy, nothing else."""
+        stack, user = warm
+        model = world.cost_model
+        with user.activate():
+            f = stack.top.resolve("c.dat")
+            watch = StopWatch(world.clock)
+            with watch:
+                f.read(0, PAGE_SIZE)
+        expected = (
+            model.cross_domain_call_us
+            + model.fs_read_cpu_us
+            + model.memcpy_us(PAGE_SIZE)
+        )
+        assert watch.elapsed_us == pytest.approx(expected)
+        assert watch.breakdown["cross_domain"] == model.cross_domain_call_us
+
+    def test_open_crossing_count_two_domains(self, world, warm, user):
+        """A repeat open makes exactly 4 crossings: client->coherency,
+        then coherency->disk x3 (resolve, check_access, get_attributes)."""
+        stack, user = warm
+        model = world.cost_model
+        snapshot = world.counters.snapshot()
+        with user.activate():
+            watch = StopWatch(world.clock)
+            with watch:
+                stack.top.resolve("c.dat")
+        delta = world.counters.delta_since(snapshot)
+        assert delta["invoke.cross_domain"] == 4
+        assert watch.breakdown["cross_domain"] == pytest.approx(
+            4 * model.cross_domain_call_us
+        )
+
+    def test_uncached_read_is_disk_dominated(self, world, node, user):
+        device = BlockDevice(node.nucleus, "slow", 8192)
+        stack = create_sfs(node, device, cache=False, name="slow")
+        with user.activate():
+            f = stack.top.create_file("d.dat")
+            f.write(0, b"d" * PAGE_SIZE)
+            watch = StopWatch(world.clock)
+            with watch:
+                f.read(0, PAGE_SIZE)
+        assert watch.breakdown["disk"] > 0.9 * watch.elapsed_us
+
+    def test_same_domain_stack_uses_local_calls(self, world):
+        node = world.create_node("one")
+        device = RamDevice(node.nucleus, "ram", 8192)
+        stack = create_sfs(node, device, placement="one_domain")
+        user = world.create_user_domain(node)
+        with user.activate():
+            stack.top.create_file("x.dat")
+            snapshot = world.counters.snapshot()
+            stack.top.resolve("x.dat")
+        delta = world.counters.delta_since(snapshot)
+        # One crossing in from the user; the 3 layer-to-layer calls are
+        # local procedure calls.
+        assert delta["invoke.cross_domain"] == 1
+        assert delta["invoke.local"] == 3
+
+    def test_remote_op_charges_rtt_plus_payload(self, world):
+        from repro.fs.dfs import export_dfs, mount_remote
+
+        server = world.create_node("server")
+        client = world.create_node("client")
+        stack = create_sfs(server, RamDevice(server.nucleus, "ram", 8192))
+        dfs = export_dfs(server, stack.top)
+        mount_remote(client, server, "dfs")
+        su = world.create_user_domain(server, "su")
+        cu = world.create_user_domain(client, "cu")
+        with su.activate():
+            dfs.create_file("n.dat").write(0, b"n" * PAGE_SIZE)
+        model = world.cost_model
+        with cu.activate():
+            rf = client.fs_context.resolve("dfs@server").resolve("n.dat")
+            watch = StopWatch(world.clock)
+            with watch:
+                rf.read(0, PAGE_SIZE)
+        # One request round trip + a 4 KB reply payload.
+        expected_network = model.network_rtt_us + model.network_per_kb_us * 4
+        assert watch.breakdown["network"] == pytest.approx(expected_network)
+
+    def test_determinism_across_worlds(self):
+        """Identical programs in fresh worlds produce identical clocks —
+        the property the whole reproduction rests on."""
+
+        def run():
+            world = World()
+            node = world.create_node("d")
+            stack = create_sfs(node, BlockDevice(node.nucleus, "sd0", 8192))
+            user = world.create_user_domain(node)
+            with user.activate():
+                f = stack.top.create_file("det.dat")
+                f.write(0, b"det" * 1000)
+                f.read(100, 500)
+                f.sync()
+                stack.top.sync_fs()
+            return world.clock.now_us, world.clock.categories()
+
+        first, second = run(), run()
+        assert first == second

@@ -1,0 +1,169 @@
+"""Failure-injection tests: bad disks, network partitions mid-protocol,
+revoked objects, and resource exhaustion through full stacks."""
+
+import pytest
+
+from repro.errors import (
+    DeviceError,
+    NoSpaceError,
+    RevokedObjectError,
+)
+from repro.fs.dfs import export_dfs, mount_remote
+from repro.fs.sfs import create_sfs
+from repro.ipc.network import NetworkPartitionError
+from repro.storage.block_device import BlockDevice, RamDevice
+from repro.types import PAGE_SIZE, AccessRights
+
+
+class TestDiskFailures:
+    def test_bad_block_surfaces_through_stack(self, world, node, user):
+        device = BlockDevice(node.nucleus, "bad0", 8192)
+        stack = create_sfs(node, device, cache=False)
+        with user.activate():
+            f = stack.top.create_file("victim.dat")
+            f.write(0, b"x" * PAGE_SIZE)
+        # Find and break the data block.
+        volume = stack.disk_layer.volume
+        ino = volume.lookup(volume.sb.root_ino, "victim.dat")
+        block = volume.iget(ino).direct[0]
+        device.inject_bad_block(block)
+        with user.activate():
+            with pytest.raises(DeviceError):
+                stack.top.resolve("victim.dat").read(0, PAGE_SIZE)
+
+    def test_cache_masks_bad_block_until_miss(self, world, node, user):
+        device = BlockDevice(node.nucleus, "bad1", 8192)
+        stack = create_sfs(node, device, cache=True)
+        with user.activate():
+            f = stack.top.create_file("victim.dat")
+            f.write(0, b"y" * PAGE_SIZE)
+            f.sync()
+            f.read(0, 16)  # cached now
+        volume = stack.disk_layer.volume
+        ino = volume.lookup(volume.sb.root_ino, "victim.dat")
+        device.inject_bad_block(volume.iget(ino).direct[0])
+        with user.activate():
+            # Cache hit: still works.
+            assert stack.top.resolve("victim.dat").read(0, 16) == b"y" * 16
+
+    def test_write_error_leaves_volume_consistent(self, world, node, user):
+        device = BlockDevice(node.nucleus, "bad2", 8192)
+        stack = create_sfs(node, device, cache=False)
+        with user.activate():
+            f = stack.top.create_file("w.dat")
+            f.write(0, b"a" * PAGE_SIZE)
+        volume = stack.disk_layer.volume
+        ino = volume.lookup(volume.sb.root_ino, "w.dat")
+        device.inject_bad_block(volume.iget(ino).direct[0])
+        with user.activate():
+            with pytest.raises(DeviceError):
+                stack.top.resolve("w.dat").write(0, b"b" * 100)
+        device.clear_bad_blocks()
+        assert volume.fsck() == []
+
+
+class TestSpaceExhaustion:
+    def test_enospc_through_stack(self, world, node, user):
+        device = RamDevice(node.nucleus, "tiny", 64)
+        stack = create_sfs(node, device, cache=False)
+        with user.activate():
+            f = stack.top.create_file("big.dat")
+            with pytest.raises(NoSpaceError):
+                f.write(0, b"z" * (100 * PAGE_SIZE))
+        assert stack.disk_layer.volume.fsck() == []
+
+    def test_enospc_on_deferred_writeback(self, world, node, user):
+        """Cached writes can over-commit; the error surfaces at sync."""
+        device = RamDevice(node.nucleus, "tiny2", 64)
+        stack = create_sfs(node, device, cache=True)
+        with user.activate():
+            f = stack.top.create_file("big.dat")
+            f.write(0, b"z" * (100 * PAGE_SIZE))  # fits in cache
+            with pytest.raises(NoSpaceError):
+                f.sync()
+
+
+class TestPartitionMidProtocol:
+    @pytest.fixture
+    def dist(self, world):
+        server = world.create_node("server")
+        client = world.create_node("client")
+        device = BlockDevice(server.nucleus, "sd0", 8192)
+        sfs = create_sfs(server, device)
+        dfs = export_dfs(server, sfs.top)
+        mount_remote(client, server, "dfs")
+        su = world.create_user_domain(server, "su")
+        cu = world.create_user_domain(client, "cu")
+        with su.activate():
+            dfs.create_file("shared.dat").write(0, b"S" * PAGE_SIZE)
+        return world, server, client, sfs, dfs, su, cu
+
+    def test_recall_of_partitioned_client_fails_cleanly(self, dist):
+        """A server-side read that must recall a dirty block from a
+        partitioned client raises rather than returning stale data."""
+        world, server, client, sfs, dfs, su, cu = dist
+        with cu.activate():
+            rf = client.fs_context.resolve("dfs@server").resolve("shared.dat")
+            mapping = client.vmm.create_address_space("c").map(
+                rf, AccessRights.READ_WRITE
+            )
+            mapping.write(0, b"DIRTY AT CLIENT")
+        world.network.partition(server, client)
+        with su.activate():
+            with pytest.raises(NetworkPartitionError):
+                dfs.resolve("shared.dat").read(0, 15)
+        # After healing, the recall completes and data is correct.
+        world.network.heal_all()
+        with su.activate():
+            assert dfs.resolve("shared.dat").read(0, 15) == b"DIRTY AT CLIENT"
+
+    def test_client_cache_hit_survives_partition(self, dist):
+        world, server, client, sfs, dfs, su, cu = dist
+        with cu.activate():
+            rf = client.fs_context.resolve("dfs@server").resolve("shared.dat")
+            mapping = client.vmm.create_address_space("c").map(
+                rf, AccessRights.READ_ONLY
+            )
+            assert mapping.read(0, 4) == b"SSSS"
+        world.network.partition(server, client)
+        with cu.activate():
+            # Already-cached page: no network needed.
+            assert mapping.read(0, 4) == b"SSSS"
+
+
+class TestRevocation:
+    def test_channel_close_revokes_objects(self, world, node, device, user):
+        stack = create_sfs(node, device)
+        with user.activate():
+            f = stack.top.create_file("r.dat")
+            f.write(0, b"r" * PAGE_SIZE)
+            mapping = node.vmm.create_address_space("t").map(
+                f, AccessRights.READ_ONLY
+            )
+            mapping.read(0, 4)
+            channel = mapping.cache.channel
+            pager = channel.pager_object
+            channel.close()
+            with pytest.raises(RevokedObjectError):
+                pager.page_in(0, PAGE_SIZE, AccessRights.READ_ONLY)
+
+    def test_done_with_pager_object_tears_down(self, world, node, device, user):
+        stack = create_sfs(node, device)
+        with user.activate():
+            f = stack.top.create_file("d.dat")
+            f.write(0, b"d" * PAGE_SIZE)
+            mapping = node.vmm.create_address_space("t").map(
+                f, AccessRights.READ_ONLY
+            )
+            mapping.read(0, 4)
+            pager = mapping.cache.channel.pager_object
+            pager.done_with_pager_object()
+            with pytest.raises(RevokedObjectError):
+                pager.page_in(0, PAGE_SIZE, AccessRights.READ_ONLY)
+        # The layer dropped the channel: a fresh bind builds a new one.
+        with user.activate():
+            f2 = stack.top.resolve("d.dat")
+            mapping2 = node.vmm.create_address_space("t2").map(
+                f2, AccessRights.READ_ONLY
+            )
+            assert mapping2.read(0, 4) == b"dddd"

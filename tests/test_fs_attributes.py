@@ -1,0 +1,71 @@
+"""Unit tests for the attribute value types."""
+
+import pytest
+
+from repro.fs.attributes import CachedAttributes, FileAttributes
+from repro.storage.inode import FileType, Inode
+
+
+class TestFileAttributes:
+    def test_from_inode_roundtrip(self):
+        inode = Inode(
+            ino=5,
+            type=FileType.REGULAR,
+            nlink=2,
+            size=999,
+            atime_us=1,
+            mtime_us=2,
+            ctime_us=3,
+        )
+        attrs = FileAttributes.from_inode(inode)
+        assert (attrs.size, attrs.nlink, attrs.ftype) == (
+            999,
+            2,
+            FileType.REGULAR,
+        )
+        other = Inode(ino=6, type=FileType.REGULAR)
+        attrs.apply_to_inode(other)
+        assert (other.size, other.nlink) == (999, 2)
+        assert (other.atime_us, other.mtime_us, other.ctime_us) == (1, 2, 3)
+
+    def test_copy_is_independent(self):
+        attrs = FileAttributes(size=10)
+        clone = attrs.copy()
+        clone.size = 20
+        assert attrs.size == 10
+
+
+class TestCachedAttributes:
+    def test_starts_clean(self):
+        cached = CachedAttributes(FileAttributes(size=5))
+        assert not cached.dirty
+
+    def test_touch_atime_dirties(self):
+        cached = CachedAttributes(FileAttributes())
+        cached.touch_atime(123)
+        assert cached.attrs.atime_us == 123
+        assert cached.dirty
+
+    def test_touch_mtime_updates_ctime_too(self):
+        cached = CachedAttributes(FileAttributes())
+        cached.touch_mtime(456)
+        assert cached.attrs.mtime_us == 456
+        assert cached.attrs.ctime_us == 456
+        assert cached.dirty
+
+    def test_grow_only_grows(self):
+        cached = CachedAttributes(FileAttributes(size=100))
+        cached.grow(50)
+        assert cached.attrs.size == 100
+        assert not cached.dirty
+        cached.grow(200)
+        assert cached.attrs.size == 200
+        assert cached.dirty
+
+    def test_set_size_dirty_only_on_change(self):
+        cached = CachedAttributes(FileAttributes(size=7))
+        cached.set_size(7)
+        assert not cached.dirty
+        cached.set_size(3)
+        assert cached.attrs.size == 3
+        assert cached.dirty

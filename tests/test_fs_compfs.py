@@ -1,0 +1,249 @@
+"""Unit tests for COMPFS: compression format, both coherence cases,
+mappings of file_COMP, and space accounting."""
+
+import pytest
+
+from repro.bench.workloads import compressible_bytes, incompressible_bytes
+from repro.errors import FsError
+from repro.fs.compfs import CompFs, pack_compressed, unpack_compressed
+from repro.fs.sfs import create_sfs
+from repro.ipc.domain import Credentials
+from repro.types import PAGE_SIZE, AccessRights
+
+RO = AccessRights.READ_ONLY
+RW = AccessRights.READ_WRITE
+
+
+@pytest.fixture
+def env(world, node, device):
+    sfs = create_sfs(node, device)
+    user = world.create_user_domain(node)
+
+    def build(coherent=True):
+        domain = node.create_domain(
+            f"compfs-{'c' if coherent else 'n'}", Credentials("compfs", True)
+        )
+        layer = CompFs(domain, coherent=coherent)
+        layer.stack_on(sfs.top)
+        return layer
+
+    return world, node, sfs, user, build
+
+
+class TestFormat:
+    def test_roundtrip(self):
+        blob = compressible_bytes(10_000, seed=1)
+        assert unpack_compressed(pack_compressed(blob)) == blob
+
+    def test_empty(self):
+        assert unpack_compressed(pack_compressed(b"")) == b""
+        assert unpack_compressed(b"") == b""
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(FsError):
+            unpack_compressed(b"XXXX" + bytes(100))
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(FsError):
+            unpack_compressed(b"CZ")
+
+    def test_size_mismatch_detected(self):
+        import struct
+
+        payload = pack_compressed(b"hello")
+        forged = struct.pack("<4sQ", b"CZ01", 999) + payload[12:]
+        with pytest.raises(FsError):
+            unpack_compressed(forged)
+
+    def test_actually_compresses(self):
+        blob = compressible_bytes(100_000, seed=2)
+        assert len(pack_compressed(blob)) < len(blob) // 2
+
+
+class TestBasicOperation:
+    def test_create_write_read(self, env):
+        _, _, _, user, build = env
+        compfs = build()
+        with user.activate():
+            f = compfs.create_file("a.z")
+            payload = compressible_bytes(20_000, seed=3)
+            f.write(0, payload)
+            assert f.read(0, len(payload)) == payload
+            assert f.get_length() == len(payload)
+
+    def test_persisted_compressed(self, env):
+        _, _, sfs, user, build = env
+        compfs = build()
+        payload = compressible_bytes(50_000, seed=4)
+        with user.activate():
+            f = compfs.create_file("a.z")
+            f.write(0, payload)
+            f.sync()
+            raw = sfs.top.resolve("a.z")
+            assert raw.read(0, 4) == b"CZ01"
+            assert raw.get_length() < len(payload)
+
+    def test_space_report(self, env):
+        _, _, _, user, build = env
+        compfs = build()
+        payload = compressible_bytes(30_000, seed=5)
+        with user.activate():
+            f = compfs.create_file("a.z")
+            f.write(0, payload)
+            f.sync()
+            report = compfs.space_report(f)
+        assert report["plaintext_bytes"] == 30_000
+        assert report["stored_bytes"] < 30_000
+
+    def test_incompressible_data_survives(self, env):
+        _, _, _, user, build = env
+        compfs = build()
+        payload = incompressible_bytes(15_000, seed=6)
+        with user.activate():
+            f = compfs.create_file("rand.bin")
+            f.write(0, payload)
+            f.sync()
+            assert compfs.resolve("rand.bin").read(0, 15_000) == payload
+
+    def test_overwrite_and_extend(self, env):
+        _, _, _, user, build = env
+        compfs = build()
+        with user.activate():
+            f = compfs.create_file("grow.z")
+            f.write(0, b"aaaa")
+            f.write(2, b"BBBB")  # overlap + extend
+            assert f.read(0, 6) == b"aaBBBB"
+            assert f.get_length() == 6
+
+    def test_truncate(self, env):
+        _, _, _, user, build = env
+        compfs = build()
+        with user.activate():
+            f = compfs.create_file("t.z")
+            f.write(0, b"0123456789")
+            f.set_length(4)
+            assert f.get_length() == 4
+            assert f.read(0, 100) == b"0123"
+
+    def test_attributes_show_plaintext_size(self, env):
+        _, _, _, user, build = env
+        compfs = build()
+        payload = compressible_bytes(8_000, seed=7)
+        with user.activate():
+            f = compfs.create_file("a.z")
+            f.write(0, payload)
+            assert f.get_attributes().size == 8_000
+
+    def test_reopen_after_sync_reloads(self, env):
+        _, _, _, user, build = env
+        compfs = build()
+        payload = compressible_bytes(12_000, seed=8)
+        with user.activate():
+            f = compfs.create_file("a.z")
+            f.write(0, payload)
+            f.sync()
+            again = compfs.resolve("a.z")
+            assert again.read(0, len(payload)) == payload
+
+    def test_empty_file(self, env):
+        _, _, _, user, build = env
+        compfs = build()
+        with user.activate():
+            f = compfs.create_file("empty.z")
+            assert f.get_length() == 0
+            assert f.read(0, 10) == b""
+
+    def test_directories_wrapped(self, env):
+        _, _, _, user, build = env
+        compfs = build()
+        with user.activate():
+            sub = compfs.create_dir("sub")
+            f = sub.create_file("inner.z")
+            f.write(0, b"nested")
+            assert compfs.resolve("sub/inner.z").read(0, 6) == b"nested"
+
+
+class TestCoherenceCases:
+    def _direct_rewrite(self, sfs, name, new_plain, user):
+        image = pack_compressed(new_plain)
+        with user.activate():
+            raw = sfs.top.resolve(name)
+            raw.set_length(len(image))
+            raw.write(0, image)
+
+    def test_case1_stale_after_direct_write(self, env):
+        _, _, sfs, user, build = env
+        compfs = build(coherent=False)
+        with user.activate():
+            f = compfs.create_file("s.z")
+            f.write(0, b"version one")
+            f.sync()
+            f.read(0, 4)  # prime the plaintext cache
+        self._direct_rewrite(sfs, "s.z", b"version TWO", user)
+        with user.activate():
+            assert compfs.resolve("s.z").read(0, 11) == b"version one"  # stale!
+
+    def test_case2_coherent_after_direct_write(self, env):
+        _, _, sfs, user, build = env
+        compfs = build(coherent=True)
+        with user.activate():
+            f = compfs.create_file("s.z")
+            f.write(0, b"version one")
+            f.read(0, 4)
+        self._direct_rewrite(sfs, "s.z", b"version TWO", user)
+        with user.activate():
+            assert compfs.resolve("s.z").read(0, 11) == b"version TWO"
+
+    def test_case2_compfs_write_visible_directly(self, env):
+        _, _, sfs, user, build = env
+        compfs = build(coherent=True)
+        with user.activate():
+            f = compfs.create_file("w.z")
+            f.write(0, b"written through compfs")
+            raw = sfs.top.resolve("w.z")
+            image = raw.read(0, raw.get_length())
+            assert unpack_compressed(image) == b"written through compfs"
+
+    def test_case1_write_back_needs_sync(self, env):
+        _, _, sfs, user, build = env
+        compfs = build(coherent=False)
+        with user.activate():
+            f = compfs.create_file("lazy.z")
+            f.write(0, b"lazy data")
+            assert sfs.top.resolve("lazy.z").get_length() == 0  # not yet
+            f.sync()
+            assert sfs.top.resolve("lazy.z").get_length() > 0
+
+
+class TestMappings:
+    def test_map_file_comp_reads_plaintext(self, env):
+        _, node, _, user, build = env
+        compfs = build()
+        payload = compressible_bytes(3 * PAGE_SIZE, seed=9)
+        with user.activate():
+            f = compfs.create_file("m.z")
+            f.write(0, payload)
+            mapping = node.vmm.create_address_space("t").map(f, RO)
+            assert mapping.read(PAGE_SIZE, 64) == payload[PAGE_SIZE : PAGE_SIZE + 64]
+
+    def test_mapped_write_coherent_with_read(self, env):
+        _, node, _, user, build = env
+        compfs = build()
+        with user.activate():
+            f = compfs.create_file("mw.z")
+            f.write(0, b"x" * PAGE_SIZE)
+            mapping = node.vmm.create_address_space("t").map(f, RW)
+            mapping.write(0, b"MAPWRITE")
+            mapping.cache.sync()
+            assert compfs.resolve("mw.z").read(0, 8) == b"MAPWRITE"
+
+    def test_binds_to_file_comp_handled_by_compfs(self, env, world):
+        """COMPFS can never share the underlying cache — plaintext and
+        compressed bytes differ (sec. 4.2.2)."""
+        _, node, _, user, build = env
+        compfs = build()
+        with user.activate():
+            f = compfs.create_file("b.z")
+            f.write(0, b"y" * PAGE_SIZE)
+            node.vmm.create_address_space("t").map(f, RO).read(0, 4)
+        assert world.counters.get("compfs.channel_created") == 1

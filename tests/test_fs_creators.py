@@ -1,0 +1,117 @@
+"""Unit tests for the creator registry and the build_stack configuration
+tool (paper sec. 4.4-4.5)."""
+
+import pytest
+
+from repro.errors import FsError
+from repro.fs.creators import (
+    CREATABLE_LAYERS,
+    LayerSpec,
+    build_stack,
+    lookup_creator,
+    register_standard_creators,
+)
+from repro.fs.fs_interfaces import StackableFs, StackableFsCreator
+from repro.fs.sfs import create_sfs
+
+
+@pytest.fixture
+def booted(world, node, device):
+    creators = register_standard_creators(node)
+    sfs = create_sfs(node, device)
+    return world, node, sfs, creators
+
+
+class TestCreatorRegistry:
+    def test_all_types_registered_under_well_known_place(self, booted):
+        _, node, _, _ = booted
+        names = [n for n, _ in node.fs_creators.list_bindings()]
+        for tag in CREATABLE_LAYERS:
+            assert f"{tag}_creator" in names
+
+    def test_lookup_by_normal_resolve(self, booted):
+        """sec. 4.4 step 1: lookup via a normal naming resolve."""
+        _, node, _, _ = booted
+        creator = node.fs_creators.resolve("dfs_creator")
+        assert isinstance(creator, StackableFsCreator)
+        assert creator.creator_type() == "dfs"
+
+    def test_lookup_helper(self, booted):
+        _, node, _, _ = booted
+        assert lookup_creator(node, "compfs").creator_type() == "compfs"
+
+    def test_lookup_unregistered(self, world):
+        bare = world.create_node("bare")
+        with pytest.raises(FsError):
+            lookup_creator(bare, "compfs")
+
+    def test_create_returns_stackable_fs(self, booted):
+        _, node, _, _ = booted
+        instance = lookup_creator(node, "compfs").create()
+        assert isinstance(instance, StackableFs)
+        assert instance.under_layers() == []
+
+    def test_each_create_is_fresh_instance_own_domain(self, booted):
+        _, node, _, _ = booted
+        creator = lookup_creator(node, "cryptfs")
+        a, b = creator.create(), creator.create()
+        assert a is not b
+        assert a.domain is not b.domain
+
+    def test_create_accepts_options(self, booted):
+        _, node, _, _ = booted
+        layer = lookup_creator(node, "compfs").create(coherent=False)
+        assert layer.coherent is False
+
+
+class TestBuildStack:
+    def test_single_layer(self, booted):
+        world, node, sfs, _ = booted
+        (compfs,) = build_stack(node, sfs.top, [LayerSpec("compfs")])
+        assert compfs.under_layers() == [sfs.top]
+
+    def test_multi_layer_order(self, booted):
+        """sec. 4.5: DFS on COMPFS on SFS."""
+        world, node, sfs, _ = booted
+        compfs, dfs = build_stack(
+            node, sfs.top, [LayerSpec("compfs"), LayerSpec("dfs")]
+        )
+        assert dfs.under_layers() == [compfs]
+        assert compfs.under_layers() == [sfs.top]
+
+    def test_export_as(self, booted):
+        world, node, sfs, _ = booted
+        build_stack(node, sfs.top, [LayerSpec("compfs")], export_as="cz")
+        assert node.fs_context.resolve("cz").fs_type() == "compfs"
+
+    def test_export_all(self, booted):
+        world, node, sfs, _ = booted
+        layers = build_stack(
+            node,
+            sfs.top,
+            [LayerSpec("compfs"), LayerSpec("dfs")],
+            export_all=True,
+        )
+        names = [n for n, _ in node.fs_context.list_bindings()]
+        assert any(n.startswith("compfs-") for n in names)
+        assert any(n.startswith("dfs-") for n in names)
+
+    def test_options_passed_through(self, booted):
+        world, node, sfs, _ = booted
+        (compfs,) = build_stack(
+            node, sfs.top, [LayerSpec("compfs", {"coherent": False})]
+        )
+        assert compfs.coherent is False
+
+    def test_built_stack_works_end_to_end(self, booted):
+        world, node, sfs, _ = booted
+        compfs, dfs = build_stack(
+            node, sfs.top, [LayerSpec("compfs"), LayerSpec("dfs")],
+            export_as="stacked",
+        )
+        user = world.create_user_domain(node)
+        with user.activate():
+            top = node.fs_context.resolve("stacked")
+            f = top.create_file("через.dat")
+            f.write(0, b"through three layers")
+            assert top.resolve("через.dat").read(0, 20) == b"through three layers"

@@ -1,0 +1,199 @@
+"""Unit tests for the disk layer (base, non-coherent on-disk layer)."""
+
+import pytest
+
+from repro.errors import (
+    FileNotFoundError_,
+    FsError,
+    IsADirectoryError_,
+    NameNotFoundError,
+)
+from repro.fs.disk_layer import DiskDirectory, DiskFile, DiskLayer
+from repro.types import PAGE_SIZE, AccessRights
+from repro.vm.memory_object import CacheManager
+
+
+@pytest.fixture
+def disk(node, ram_device):
+    return DiskLayer(node.create_domain("disk"), ram_device, format_device=True)
+
+
+class TestFileOperations:
+    def test_create_write_read(self, disk, user):
+        with user.activate():
+            f = disk.create_file("a.txt")
+            f.write(0, b"disk data")
+            assert f.read(0, 9) == b"disk data"
+
+    def test_every_data_access_hits_device(self, disk, user, ram_device):
+        """The disk layer never caches data (paper fig. 10 notes)."""
+        with user.activate():
+            f = disk.create_file("a.txt")
+            f.write(0, b"x" * PAGE_SIZE)
+            reads_before = ram_device.reads
+            f.read(0, PAGE_SIZE)
+            f.read(0, PAGE_SIZE)
+            assert ram_device.reads >= reads_before + 2
+
+    def test_open_and_stat_need_no_device_io(self, disk, user, ram_device):
+        """...but open and stat are served from the i-node/dentry cache."""
+        with user.activate():
+            f = disk.create_file("a.txt")
+            f.write(0, b"data")
+            disk.resolve("a.txt")  # warm the dentry cache
+            reads_before = ram_device.reads
+            handle = disk.resolve("a.txt")
+            handle.get_attributes()
+            assert ram_device.reads == reads_before
+
+    def test_attributes_reflect_inode(self, disk, user):
+        with user.activate():
+            f = disk.create_file("a.txt")
+            f.write(0, b"12345")
+            attrs = f.get_attributes()
+            assert attrs.size == 5
+            assert attrs.nlink == 1
+
+    def test_set_length(self, disk, user):
+        with user.activate():
+            f = disk.create_file("a.txt")
+            f.write(0, b"123456789")
+            f.set_length(4)
+            assert f.get_length() == 4
+            assert f.read(0, 100) == b"1234"
+
+    def test_source_key_stable_across_opens(self, disk, user):
+        with user.activate():
+            disk.create_file("a.txt")
+            h1 = disk.resolve("a.txt")
+            h2 = disk.resolve("a.txt")
+            assert h1 is not h2
+            assert h1.source_key == h2.source_key
+
+    def test_check_access_on_directory_write(self, disk, user):
+        with user.activate():
+            disk.create_dir("d")
+            handle = disk.resolve("d")
+            assert isinstance(handle, DiskDirectory)
+
+
+class TestNaming:
+    def test_multi_component_resolve(self, disk, user):
+        with user.activate():
+            d = disk.create_dir("sub")
+            d.create_file("leaf.txt").write(0, b"deep")
+            f = disk.resolve("sub/leaf.txt")
+            assert f.read(0, 4) == b"deep"
+
+    def test_resolve_missing(self, disk, user):
+        with user.activate():
+            with pytest.raises(FileNotFoundError_):
+                disk.resolve("ghost")
+
+    def test_resolve_through_file_rejected(self, disk, user):
+        from repro.errors import NotADirectoryError_
+
+        with user.activate():
+            disk.create_file("plain")
+            with pytest.raises((NotADirectoryError_, FileNotFoundError_)):
+                disk.resolve("plain/deeper")
+
+    def test_list_bindings(self, disk, user):
+        with user.activate():
+            disk.create_file("b")
+            disk.create_file("a")
+            disk.create_dir("c")
+            names = [name for name, _ in disk.list_bindings()]
+            assert names == ["a", "b", "c"]
+
+    def test_unbind_unlinks(self, disk, user):
+        with user.activate():
+            disk.create_file("gone")
+            disk.unbind("gone")
+            with pytest.raises(FileNotFoundError_):
+                disk.resolve("gone")
+
+    def test_arbitrary_bind_rejected(self, disk, user):
+        with user.activate():
+            with pytest.raises(FsError):
+                disk.bind("thing", object())
+
+    def test_rename(self, disk, user):
+        with user.activate():
+            disk.create_file("old").write(0, b"content")
+            disk.rename("old", "new")
+            assert disk.resolve("new").read(0, 7) == b"content"
+
+    def test_listing_does_not_charge_open_state(self, disk, user, world):
+        with user.activate():
+            for i in range(3):
+                disk.create_file(f"f{i}")
+            open_cost = world.cost_model.fs_open_state_us
+            before = world.clock.now_us
+            disk.list_bindings()
+            # Listing three files must not pay 3x open-state.
+            assert world.clock.now_us - before < 3 * open_cost
+
+
+class TestPagerBehaviour:
+    def test_bind_creates_channel(self, disk, user, node, world):
+        with user.activate():
+            f = disk.create_file("m.dat")
+            f.write(0, b"m" * PAGE_SIZE)
+            mapping = node.vmm.create_address_space("t").map(
+                f, AccessRights.READ_ONLY
+            )
+            assert mapping.read(0, 1) == b"m"
+        assert world.counters.get("disk.channel_created") == 1
+
+    def test_no_coherency_between_channels(self, disk, user, node):
+        """Two cache managers of the same disk file diverge — that is the
+        point of the disk layer being non-coherent (sec. 6.3 motivates
+        the coherency layer with exactly this)."""
+        with user.activate():
+            f = disk.create_file("m.dat")
+            f.write(0, b"A" * PAGE_SIZE)
+            aspace = node.vmm.create_address_space("t")
+            m1 = aspace.map(disk.resolve("m.dat"), AccessRights.READ_WRITE)
+            m1.read(0, 4)
+            m1.write(0, b"NEW!")  # dirty in the VMM cache only
+            # The file interface reads the device directly: stale.
+            assert f.read(0, 4) == b"AAAA"
+
+    def test_page_out_clamped_to_file_size(self, disk, user, node):
+        with user.activate():
+            f = disk.create_file("m.dat")
+            f.write(0, b"short")
+            mapping = node.vmm.create_address_space("t").map(
+                f, AccessRights.READ_WRITE, length=PAGE_SIZE
+            )
+            mapping.write(0, b"SHORT")
+            mapping.cache.sync()
+            assert f.get_length() == 5
+
+    def test_attr_ops_through_fs_pager(self, disk, user, node):
+        from repro.fs.attributes import FileAttributes
+        from repro.ipc.narrow import narrow
+        from repro.vm.pager_object import FsPager
+
+        with user.activate():
+            f = disk.create_file("m.dat")
+            f.write(0, b"payload")
+            mapping = node.vmm.create_address_space("t").map(
+                f, AccessRights.READ_ONLY
+            )
+            pager = narrow(mapping.cache.channel.pager_object, FsPager)
+            assert pager is not None
+            attrs = pager.attr_page_in()
+            assert attrs.size == 7
+            attrs.size = 3
+            pager.attr_write_out(attrs)
+            assert f.get_length() == 3
+
+    def test_stack_on_rejected(self, disk, node):
+        with pytest.raises(Exception):
+            disk.stack_on(disk)
+        assert disk.under_layers() == []
+
+    def test_fs_type(self, disk):
+        assert disk.fs_type() == "disk"

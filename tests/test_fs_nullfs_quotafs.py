@@ -1,0 +1,171 @@
+"""Tests for the NULLFS pass-through layer and the QUOTAFS policy
+layer."""
+
+import pytest
+
+from repro.fs.nullfs import NullFs
+from repro.fs.quotafs import QuotaExceededError, QuotaFs
+from repro.fs.sfs import create_sfs
+from repro.ipc.domain import Credentials
+from repro.types import PAGE_SIZE, AccessRights
+
+
+@pytest.fixture
+def base(world, node, device, user):
+    stack = create_sfs(node, device)
+    return world, node, stack, user
+
+
+class TestNullFs:
+    @pytest.fixture
+    def nullfs(self, base, node):
+        world, _, stack, user = base
+        layer = NullFs(node.create_domain("null", Credentials("n", True)))
+        layer.stack_on(stack.top)
+        return layer
+
+    def test_transparent_io(self, base, nullfs, user):
+        world, node, stack, user = base
+        with user.activate():
+            f = nullfs.create_file("t.dat")
+            f.write(0, b"pass through")
+            assert f.read(0, 12) == b"pass through"
+            # Visible identically below.
+            assert stack.top.resolve("t.dat").read(0, 12) == b"pass through"
+
+    def test_bind_forwarded_shares_cache(self, base, nullfs, user):
+        world, node, stack, user = base
+        with user.activate():
+            f_null = nullfs.create_file("m.dat")
+            f_null.write(0, b"m" * PAGE_SIZE)
+            f_under = stack.top.resolve("m.dat")
+            aspace = node.vmm.create_address_space("t")
+            m_null = aspace.map(nullfs.resolve("m.dat"), AccessRights.READ_WRITE)
+            m_under = aspace.map(f_under, AccessRights.READ_WRITE)
+            assert m_null.cache is m_under.cache
+            m_null.write(0, b"SHARED")
+            assert m_under.read(0, 6) == b"SHARED"
+        assert world.counters.get("nullfs.bind_forwarded") >= 1
+
+    def test_directories_and_rename(self, base, nullfs, user):
+        world, node, stack, user = base
+        with user.activate():
+            d = nullfs.create_dir("sub")
+            d.create_file("a.txt").write(0, b"a")
+            d.rename("a.txt", "b.txt")
+            assert nullfs.resolve("sub/b.txt").read(0, 1) == b"a"
+
+    def test_attrs_and_truncate_passthrough(self, base, nullfs, user):
+        world, node, stack, user = base
+        with user.activate():
+            f = nullfs.create_file("t2.dat")
+            f.write(0, b"0123456789")
+            assert f.get_attributes().size == 10
+            f.set_length(4)
+            assert stack.top.resolve("t2.dat").get_length() == 4
+
+    def test_coherent_with_direct_access(self, base, nullfs, user):
+        world, node, stack, user = base
+        with user.activate():
+            f = nullfs.create_file("c.dat")
+            f.write(0, b"original")
+            stack.top.resolve("c.dat").write(0, b"DIRECT!!")
+            assert nullfs.resolve("c.dat").read(0, 8) == b"DIRECT!!"
+
+
+class TestQuotaFs:
+    @pytest.fixture
+    def quota(self, base, node):
+        world, _, stack, user = base
+        layer = QuotaFs(
+            node.create_domain("quota", Credentials("q", True)),
+            budget_bytes=10 * PAGE_SIZE,
+        )
+        layer.stack_on(stack.top)
+        return layer
+
+    def test_writes_within_budget(self, base, quota, user):
+        *_, user = base
+        with user.activate():
+            f = quota.create_file("ok.dat")
+            f.write(0, b"x" * (5 * PAGE_SIZE))
+        assert quota.used_bytes == 5 * PAGE_SIZE
+        assert quota.remaining() == 5 * PAGE_SIZE
+
+    def test_write_over_budget_rejected(self, base, quota, user):
+        *_, user = base
+        with user.activate():
+            f = quota.create_file("big.dat")
+            with pytest.raises(QuotaExceededError):
+                f.write(0, b"x" * (11 * PAGE_SIZE))
+        # Nothing was charged for the rejected write.
+        assert quota.used_bytes == 0
+
+    def test_overwrite_costs_nothing(self, base, quota, user):
+        *_, user = base
+        with user.activate():
+            f = quota.create_file("rw.dat")
+            f.write(0, b"x" * PAGE_SIZE)
+            f.write(0, b"y" * PAGE_SIZE)  # no growth
+        assert quota.used_bytes == PAGE_SIZE
+
+    def test_truncate_refunds(self, base, quota, user):
+        *_, user = base
+        with user.activate():
+            f = quota.create_file("t.dat")
+            f.write(0, b"x" * (4 * PAGE_SIZE))
+            f.set_length(PAGE_SIZE)
+        assert quota.used_bytes == PAGE_SIZE
+
+    def test_unlink_refunds(self, base, quota, user):
+        *_, user = base
+        with user.activate():
+            f = quota.create_file("gone.dat")
+            f.write(0, b"x" * (3 * PAGE_SIZE))
+            quota.unbind("gone.dat")
+        assert quota.used_bytes == 0
+
+    def test_budget_usable_again_after_refund(self, base, quota, user):
+        *_, user = base
+        with user.activate():
+            f = quota.create_file("a.dat")
+            f.write(0, b"x" * (10 * PAGE_SIZE))
+            quota.unbind("a.dat")
+            g = quota.create_file("b.dat")
+            g.write(0, b"y" * (10 * PAGE_SIZE))  # fits again
+        assert quota.used_bytes == 10 * PAGE_SIZE
+
+    def test_writable_mapping_denied_when_exhausted(self, base, quota, user):
+        world, node, stack, user = base
+        with user.activate():
+            f = quota.create_file("m.dat")
+            f.write(0, b"x" * (10 * PAGE_SIZE))
+            handle = quota.resolve("m.dat")
+            with pytest.raises(QuotaExceededError):
+                node.vmm.create_address_space("t").map(
+                    handle, AccessRights.READ_WRITE
+                )
+            ro = node.vmm.create_address_space("t2").map(
+                handle, AccessRights.READ_ONLY
+            )
+            assert ro.read(0, 1) == b"x"
+
+    def test_quota_over_compfs(self, base, node, user):
+        """Policy layers compose: quota over compression counts
+        *plaintext* bytes (the view it sees)."""
+        from repro.fs.compfs import CompFs
+
+        world, _, stack, user = base
+        compfs = CompFs(node.create_domain("cz", Credentials("c", True)))
+        compfs.stack_on(stack.top)
+        quota = QuotaFs(
+            node.create_domain("q2", Credentials("q", True)),
+            budget_bytes=2 * PAGE_SIZE,
+        )
+        quota.stack_on(compfs)
+        with user.activate():
+            f = quota.create_file("z.dat")
+            f.write(0, b"a" * PAGE_SIZE)
+            with pytest.raises(QuotaExceededError):
+                f.write(PAGE_SIZE, b"b" * (2 * PAGE_SIZE))
+        assert quota.used_bytes == PAGE_SIZE

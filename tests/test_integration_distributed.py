@@ -1,0 +1,166 @@
+"""Distributed integration tests: POSIX over a remote mount, three-node
+sharing with CFS, read-ahead over the network, and a multi-client
+workload against an oracle."""
+
+import random
+
+import pytest
+
+from repro.bench.workloads import pattern_bytes
+from repro.fs.cfs import start_cfs
+from repro.fs.dfs import export_dfs, mount_remote
+from repro.fs.sfs import create_sfs
+from repro.storage.block_device import BlockDevice, RamDevice
+from repro.types import PAGE_SIZE, AccessRights
+from repro.unix import O_CREAT, O_RDWR, Posix
+from repro.world import World
+
+
+@pytest.fixture
+def cluster(world):
+    server = world.create_node("server")
+    clients = [world.create_node(f"client{i}") for i in range(2)]
+    device = RamDevice(server.nucleus, "ram", 16384)
+    sfs = create_sfs(server, device)
+    dfs = export_dfs(server, sfs.top)
+    for client in clients:
+        mount_remote(client, server, "dfs")
+    return world, server, clients, sfs, dfs
+
+
+class TestPosixOverRemoteMount:
+    def test_full_posix_session_remotely(self, cluster):
+        world, server, clients, sfs, dfs = cluster
+        client = clients[0]
+        cu = world.create_user_domain(client, "cu")
+        with cu.activate():
+            remote_root = client.fs_context.resolve("dfs@server")
+        posix = Posix(remote_root, cu)
+        posix.mkdir("www")
+        fd = posix.open("www/index.html", O_RDWR | O_CREAT)
+        posix.write(fd, b"<html>remote</html>")
+        posix.lseek(fd, 0)
+        assert posix.read(fd, 19) == b"<html>remote</html>"
+        assert posix.fstat(fd).size == 19
+        assert posix.listdir("www") == ["index.html"]
+        posix.close(fd)
+        # The server sees the same tree through its local stack.
+        su = world.create_user_domain(server, "su")
+        server_posix = Posix(sfs.top, su)
+        assert server_posix.stat("www/index.html").size == 19
+
+    def test_two_clients_posix_share_coherently(self, cluster):
+        world, server, clients, sfs, dfs = cluster
+        sessions = []
+        for i, client in enumerate(clients):
+            cu = world.create_user_domain(client, f"cu{i}")
+            with cu.activate():
+                root = client.fs_context.resolve("dfs@server")
+            sessions.append(Posix(root, cu))
+        p1, p2 = sessions
+        fd1 = p1.open("shared.log", O_RDWR | O_CREAT)
+        p1.write(fd1, b"client1 line\n")
+        fd2 = p2.open("shared.log", O_RDWR)
+        assert p2.read(fd2, 13) == b"client1 line\n"
+        p2.pwrite(fd2, b"CLIENT2", 0)
+        assert p1.pread(fd1, 7, 0) == b"CLIENT2"
+
+
+class TestCfsInACluster:
+    def test_cfs_on_both_clients_stays_coherent(self, cluster):
+        world, server, clients, sfs, dfs = cluster
+        su = world.create_user_domain(server, "su")
+        with su.activate():
+            dfs.create_file("attr.dat").write(0, b"x" * 100)
+        locals_ = []
+        for i, client in enumerate(clients):
+            cfs = start_cfs(client)
+            cu = world.create_user_domain(client, f"cu{i}")
+            with cu.activate():
+                rf = client.fs_context.resolve("dfs@server").resolve("attr.dat")
+                locals_.append((cu, cfs.interpose(rf)))
+        (cu1, f1), (cu2, f2) = locals_
+        with cu1.activate():
+            assert f1.get_attributes().size == 100
+        with cu2.activate():
+            assert f2.get_attributes().size == 100
+        # client1 grows the file; client2's cached attrs are invalidated
+        # through the DFS fan-out.
+        with cu1.activate():
+            f1.write(100, b"grown")
+            f1.sync()
+        with cu2.activate():
+            assert f2.get_attributes().size == 105
+
+
+class TestReadaheadOverNetwork:
+    def test_remote_sequential_scan_with_readahead(self, cluster):
+        """VMM read-ahead issues ranged page-ins over the network; fewer
+        round trips, same bytes."""
+        world, server, clients, sfs, dfs = cluster
+        su = world.create_user_domain(server, "su")
+        payload = pattern_bytes(16 * PAGE_SIZE, tag=3)
+        with su.activate():
+            f = dfs.create_file("stream.dat")
+            f.write(0, payload)
+        client = clients[0]
+        cu = world.create_user_domain(client, "cu")
+        client.vmm.readahead_pages = 4
+
+        with cu.activate():
+            rf = client.fs_context.resolve("dfs@server").resolve("stream.dat")
+            mapping = client.vmm.create_address_space("cu").map(
+                rf, AccessRights.READ_ONLY
+            )
+            messages_before = world.network.messages
+            got = b"".join(
+                mapping.read(page * PAGE_SIZE, PAGE_SIZE) for page in range(16)
+            )
+            messages = world.network.messages - messages_before
+        assert got == payload
+        assert messages < 16  # clustered page-ins collapsed round trips
+
+
+class TestMultiClientWorkloadOracle:
+    def test_random_interleaving_matches_oracle(self, cluster):
+        """Random reads/writes from the server and both clients, all
+        through different paths (file interface and mappings), checked
+        against a single linear history."""
+        world, server, clients, sfs, dfs = cluster
+        span = 8 * PAGE_SIZE
+        su = world.create_user_domain(server, "su")
+        with su.activate():
+            dfs.create_file("arena.bin").write(0, bytes(span))
+
+        views = []
+        with su.activate():
+            views.append(("server", su, dfs.resolve("arena.bin")))
+        for i, client in enumerate(clients):
+            cu = world.create_user_domain(client, f"cu{i}")
+            with cu.activate():
+                rf = client.fs_context.resolve("dfs@server").resolve("arena.bin")
+                mapping = client.vmm.create_address_space(f"cu{i}").map(
+                    rf, AccessRights.READ_WRITE
+                )
+            views.append((f"client{i}", cu, mapping))
+
+        oracle = bytearray(span)
+        rng = random.Random(42)
+        for step in range(80):
+            name, domain, view = views[rng.randrange(len(views))]
+            offset = rng.randrange(span - 64)
+            if rng.random() < 0.5:
+                data = bytes([step % 250 + 1]) * 32
+                with domain.activate():
+                    view.write(offset, data)
+                oracle[offset : offset + 32] = data
+            else:
+                with domain.activate():
+                    got = view.read(offset, 64)
+                assert got == bytes(oracle[offset : offset + 64]), (
+                    f"step {step} via {name} at {offset}"
+                )
+        # Final agreement across all views.
+        for name, domain, view in views:
+            with domain.activate():
+                assert view.read(0, span) == bytes(oracle), name

@@ -1,0 +1,135 @@
+"""Composition matrix: the same POSIX workload runs unchanged over
+every layer type — the architecture's core claim that "as long as the
+interface of the new layer conforms to the interface of a file system,
+clients will view the new layer as a file system, regardless of how it
+is implemented"."""
+
+import pytest
+
+from repro.bench.workloads import pattern_bytes
+from repro.fs.cfs import start_cfs
+from repro.fs.compfs import CompFs
+from repro.fs.cryptfs import CryptFs
+from repro.fs.dfs import export_dfs, mount_remote
+from repro.fs.mirrorfs import MirrorFs
+from repro.fs.nullfs import NullFs
+from repro.fs.quotafs import QuotaFs
+from repro.fs.sfs import create_sfs
+from repro.ipc.domain import Credentials
+from repro.storage.block_device import RamDevice
+from repro.types import PAGE_SIZE
+from repro.unix import O_CREAT, O_RDONLY, O_RDWR, Posix
+from repro.world import World
+
+
+def _stack(kind: str):
+    """Build a (root context, client domain) pair for each stack kind."""
+    world = World()
+    node = world.create_node("matrix")
+    device = RamDevice(node.nucleus, "ram", 16384)
+    sfs = create_sfs(node, device)
+    user = world.create_user_domain(node)
+
+    def layer(cls, **kwargs):
+        instance = cls(
+            node.create_domain(kind, Credentials(kind, True)), **kwargs
+        )
+        instance.stack_on(sfs.top)
+        return instance
+
+    if kind == "sfs":
+        return sfs.top, user
+    if kind == "mono":
+        node2 = world.create_node("mono-node")
+        mono = create_sfs(
+            node2, RamDevice(node2.nucleus, "ram", 16384),
+            placement="not_stacked",
+        )
+        return mono.top, world.create_user_domain(node2)
+    if kind == "nullfs":
+        return layer(NullFs), user
+    if kind == "compfs":
+        return layer(CompFs), user
+    if kind == "cryptfs":
+        return layer(CryptFs, key=b"matrix"), user
+    if kind == "quotafs":
+        return layer(QuotaFs, budget_bytes=10**9), user
+    if kind == "mirrorfs":
+        device_b = RamDevice(node.nucleus, "ram-b", 16384)
+        sfs_b = create_sfs(node, device_b, name="sfs-b")
+        mirror = MirrorFs(node.create_domain("mir", Credentials("m", True)))
+        mirror.stack_on(sfs.top)
+        mirror.stack_on(sfs_b.top)
+        return mirror, user
+    if kind == "dfs-remote":
+        client = world.create_node("client")
+        dfs = export_dfs(node, sfs.top)
+        mount_remote(client, node, "dfs")
+        cu = world.create_user_domain(client, "cu")
+        with cu.activate():
+            root = client.fs_context.resolve("dfs@server".replace("server", node.name))
+        return root, cu
+    raise ValueError(kind)
+
+
+KINDS = [
+    "sfs",
+    "mono",
+    "nullfs",
+    "compfs",
+    "cryptfs",
+    "quotafs",
+    "mirrorfs",
+    "dfs-remote",
+]
+
+
+@pytest.mark.parametrize("kind", KINDS)
+class TestSameWorkloadEverywhere:
+    def test_posix_session(self, kind):
+        root, user = _stack(kind)
+        posix = Posix(root, user)
+        payload = pattern_bytes(2 * PAGE_SIZE + 123, tag=7)
+
+        fd = posix.open("doc.bin", O_RDWR | O_CREAT)
+        assert posix.write(fd, payload) == len(payload)
+        assert posix.fstat(fd).size == len(payload)
+        posix.lseek(fd, 0)
+        assert posix.read(fd, len(payload)) == payload
+        posix.fsync(fd)
+        posix.close(fd)
+
+        fd = posix.open("doc.bin", O_RDONLY)
+        assert posix.pread(fd, 100, PAGE_SIZE) == payload[PAGE_SIZE : PAGE_SIZE + 100]
+        posix.close(fd)
+
+        fd = posix.open("doc.bin", O_RDWR)
+        posix.ftruncate(fd, 100)
+        assert posix.fstat(fd).size == 100
+        posix.close(fd)
+
+        assert "doc.bin" in posix.listdir()
+        posix.unlink("doc.bin")
+        assert posix.listdir() == []
+
+    def test_overwrite_and_extend(self, kind):
+        root, user = _stack(kind)
+        posix = Posix(root, user)
+        fd = posix.open("grow.bin", O_RDWR | O_CREAT)
+        posix.write(fd, b"aaaa")
+        posix.pwrite(fd, b"BB", 2)
+        posix.pwrite(fd, b"tail", 10)
+        assert posix.pread(fd, 14, 0) == b"aaBB" + bytes(6) + b"tail"
+
+    def test_many_small_files(self, kind):
+        root, user = _stack(kind)
+        posix = Posix(root, user)
+        for i in range(10):
+            fd = posix.open(f"f{i}.dat", O_RDWR | O_CREAT)
+            posix.write(fd, pattern_bytes(100 + i, tag=i))
+            posix.close(fd)
+        for i in range(10):
+            assert posix.stat(f"f{i}.dat").size == 100 + i
+            fd = posix.open(f"f{i}.dat", O_RDONLY)
+            assert posix.read(fd, 200) == pattern_bytes(100 + i, tag=i)
+            posix.close(fd)

@@ -1,0 +1,120 @@
+"""Unit tests for the name cache (sec. 6.4 future work, implemented)."""
+
+import pytest
+
+from repro.naming.cache import NameCache
+from repro.naming.context import MemoryContext
+
+
+@pytest.fixture
+def tree(world, node):
+    root = MemoryContext(node.nucleus)
+    sub = root.create_context("sub")
+    sub.bind("leaf", "value")
+    root.bind("top", "top-value")
+    return root, sub
+
+
+class TestNameCacheHits:
+    def test_miss_then_hit(self, world, tree):
+        root, _ = tree
+        cache = NameCache(world)
+        assert cache.resolve(root, "sub/leaf") == "value"
+        assert (cache.hits, cache.misses) == (0, 1)
+        assert cache.resolve(root, "sub/leaf") == "value"
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_distinct_names_cached_separately(self, world, tree):
+        root, _ = tree
+        cache = NameCache(world)
+        cache.resolve(root, "sub/leaf")
+        cache.resolve(root, "top")
+        assert cache.misses == 2
+        assert len(cache) == 2
+
+    def test_hit_charges_less_than_miss(self, world, node, tree):
+        root, _ = tree
+        cache = NameCache(world)
+        user = world.create_user_domain(node)
+        with user.activate():
+            before = world.clock.now_us
+            cache.resolve(root, "sub/leaf")
+            miss_cost = world.clock.now_us - before
+            before = world.clock.now_us
+            cache.resolve(root, "sub/leaf")
+            hit_cost = world.clock.now_us - before
+        assert hit_cost < miss_cost
+        assert hit_cost == world.cost_model.name_cache_hit_us
+
+    def test_capacity_bounded(self, world, tree):
+        root, _ = tree
+        cache = NameCache(world, capacity=2)
+        for i in range(5):
+            root.bind(f"n{i}", i)
+        for i in range(5):
+            cache.resolve(root, f"n{i}")
+        assert len(cache) <= 2
+
+
+class TestNameCacheInvalidation:
+    def test_rebind_invalidates(self, world, tree):
+        root, sub = tree
+        cache = NameCache(world)
+        cache.resolve(root, "sub/leaf")
+        sub.rebind("leaf", "new-value")
+        assert cache.resolve(root, "sub/leaf") == "new-value"
+        assert cache.invalidations >= 1
+
+    def test_unbind_of_intermediate_context_invalidates(self, world, tree):
+        root, sub = tree
+        cache = NameCache(world)
+        cache.resolve(root, "sub/leaf")
+        root.unbind("sub")
+        assert len(cache) == 0
+
+    def test_unrelated_change_keeps_entry(self, world, node, tree):
+        root, _ = tree
+        other = MemoryContext(node.nucleus)
+        cache = NameCache(world)
+        cache.resolve(root, "sub/leaf")
+        other.bind("elsewhere", 1)
+        assert cache.hits == 0
+        cache.resolve(root, "sub/leaf")
+        assert cache.hits == 1
+
+    def test_sibling_change_in_traversed_context_invalidates(self, world, tree):
+        """Conservative: any change to a traversed context drops entries
+        through it.  Correctness over retention."""
+        root, sub = tree
+        cache = NameCache(world)
+        cache.resolve(root, "sub/leaf")
+        sub.bind("sibling", 9)
+        assert len(cache) == 0
+
+    def test_multiple_caches_all_notified(self, world, tree):
+        root, sub = tree
+        cache1, cache2 = NameCache(world), NameCache(world)
+        cache1.resolve(root, "sub/leaf")
+        cache2.resolve(root, "sub/leaf")
+        sub.rebind("leaf", "v2")
+        assert len(cache1) == 0 and len(cache2) == 0
+
+    def test_clear(self, world, tree):
+        root, _ = tree
+        cache = NameCache(world)
+        cache.resolve(root, "top")
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestNameCacheInterposerInteraction:
+    def test_interposition_invalidates_cached_path(self, world, node, tree):
+        """Splicing a watchdog in (rebind) must invalidate cached names
+        through that context, or the interposer would be bypassed."""
+        root, sub = tree
+        cache = NameCache(world)
+        assert cache.resolve(root, "sub/leaf") == "value"
+        replacement = MemoryContext(node.nucleus)
+        replacement.bind("leaf", "intercepted")
+        root.rebind("sub", replacement)
+        assert cache.resolve(root, "sub/leaf") == "intercepted"

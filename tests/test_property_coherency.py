@@ -1,0 +1,161 @@
+"""Property-based tests for the coherency protocol.
+
+The key invariant of the architecture: no matter how accesses interleave
+across views — the file interface, multiple mappings, direct layer
+access — every read observes the bytes of a single linear history (the
+simulation is sequential, so the oracle is just a flat buffer updated in
+program order).
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.fs.sfs import create_sfs
+from repro.storage.block_device import RamDevice
+from repro.types import PAGE_SIZE, AccessRights
+from repro.world import World
+
+SPAN = 3 * PAGE_SIZE
+
+VIEWS = ("file", "map1", "map2")
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(VIEWS),
+        st.sampled_from(["read", "write"]),
+        st.integers(0, SPAN - 1),
+        st.integers(1, PAGE_SIZE),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+def build_views(cache: bool):
+    world = World()
+    node = world.create_node("prop")
+    device = RamDevice(node.nucleus, "ram", 8192)
+    stack = create_sfs(node, device, cache=cache)
+    user = world.create_user_domain(node)
+    with user.activate():
+        f = stack.top.create_file("shared.bin")
+        f.write(0, bytes(SPAN))
+        mapping1 = node.vmm.create_address_space("a1").map(
+            stack.top.resolve("shared.bin"), AccessRights.READ_WRITE
+        )
+        mapping2 = node.vmm.create_address_space("a2").map(
+            stack.top.resolve("shared.bin"), AccessRights.READ_WRITE
+        )
+    views = {"file": f, "map1": mapping1, "map2": mapping2}
+    return world, user, views
+
+
+def do_read(view, obj, offset, size):
+    if view == "file":
+        return obj.read(offset, size)
+    return obj.read(offset, size)
+
+
+def do_write(view, obj, offset, data):
+    if view == "file":
+        obj.write(offset, data)
+    else:
+        obj.write(offset, data)
+
+
+class TestEveryViewSeesOneHistory:
+    @given(ops=ops)
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_cached_sfs(self, ops):
+        self._run(cache=True, ops=ops)
+
+    @given(ops=ops)
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_uncached_sfs(self, ops):
+        self._run(cache=False, ops=ops)
+
+    def _run(self, cache, ops):
+        world, user, views = build_views(cache)
+        oracle = bytearray(SPAN)
+        with user.activate():
+            for i, (view, kind, offset, size) in enumerate(ops):
+                size = min(size, SPAN - offset)
+                if size <= 0:
+                    continue
+                obj = views[view]
+                if kind == "write":
+                    data = bytes(((i * 37 + j) % 251) + 1 for j in range(size))
+                    do_write(view, obj, offset, data)
+                    oracle[offset : offset + size] = data
+                else:
+                    got = do_read(view, obj, offset, size)
+                    assert got == bytes(oracle[offset : offset + size]), (
+                        f"step {i}: {view} {kind} at {offset}+{size} "
+                        f"(cache={cache})"
+                    )
+            # Final check: all three views agree with the oracle.
+            for view, obj in views.items():
+                assert do_read(view, obj, 0, SPAN) == bytes(oracle), view
+
+    @given(ops=ops)
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_sync_then_remount_sees_history(self, ops):
+        """After sync, the on-disk state equals the oracle."""
+        world, user, views = build_views(cache=True)
+        oracle = bytearray(SPAN)
+        with user.activate():
+            for i, (view, kind, offset, size) in enumerate(ops):
+                size = min(size, SPAN - offset)
+                if size <= 0 or kind == "read":
+                    continue
+                data = bytes(((i * 11 + j) % 251) + 1 for j in range(size))
+                do_write(view, views[view], offset, data)
+                oracle[offset : offset + size] = data
+            # Push mapping dirt, then layer dirt, then metadata.
+            views["map1"].cache.sync()
+            views["map2"].cache.sync()
+            views["file"].sync()
+        node = next(iter(world.nodes.values()))
+        stack_top = node.fs_context.resolve("sfs")
+        with user.activate():
+            stack_top.sync_fs()
+        # Read the raw volume (below every cache).
+        disk_layer = stack_top.under_layers()[0]
+        volume = disk_layer.volume
+        ino = volume.lookup(volume.sb.root_ino, "shared.bin")
+        assert volume.read_data(ino, 0, SPAN) == bytes(oracle)
+        assert volume.fsck() == []
+
+
+class TestSingleWriterInvariant:
+    @given(
+        writers=st.lists(st.sampled_from(["map1", "map2"]), min_size=2, max_size=8)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_at_most_one_writable_holder_per_block(self, writers):
+        world, user, views = build_views(cache=True)
+        node = next(iter(world.nodes.values()))
+        stack_top = node.fs_context.resolve("sfs")
+        with user.activate():
+            for i, writer in enumerate(writers):
+                views[writer].write(0, bytes([i + 1]) * 16)
+        coherency = stack_top
+        state = next(iter(coherency._states.values()))
+        writable = [
+            channel
+            for channel, rights in state.holders.holders_of(0)
+            if rights.writable
+        ]
+        assert len(writable) <= 1

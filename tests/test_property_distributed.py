@@ -1,0 +1,104 @@
+"""Property-based distributed coherency: hypothesis-generated operation
+interleavings across a server and a remote client must observe one
+linear history, under both coherency protocols."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.fs.coherency import CoherencyLayer
+from repro.fs.dfs import DfsLayer, mount_remote
+from repro.fs.disk_layer import DiskLayer
+from repro.ipc.domain import Credentials
+from repro.storage.block_device import RamDevice
+from repro.types import PAGE_SIZE, AccessRights
+from repro.world import World
+
+SPAN = 4 * PAGE_SIZE
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["server_file", "client_map", "client_file"]),
+        st.sampled_from(["read", "write"]),
+        st.integers(0, SPAN - 65),
+        st.integers(1, 64),
+    ),
+    min_size=1,
+    max_size=18,
+)
+
+
+def build(protocol: str):
+    world = World()
+    server = world.create_node("server")
+    client = world.create_node("client")
+    disk = DiskLayer(
+        server.create_domain("disk"), RamDevice(server.nucleus, "ram", 8192),
+        format_device=True,
+    )
+    coherency = CoherencyLayer(
+        server.create_domain("coh", Credentials("c", True)), protocol=protocol
+    )
+    coherency.stack_on(disk)
+    dfs = DfsLayer(
+        server.create_domain("dfs", Credentials("d", True)), protocol=protocol
+    )
+    dfs.stack_on(coherency)
+    server.fs_context.bind("dfs", dfs)
+    mount_remote(client, server, "dfs")
+    su = world.create_user_domain(server, "su")
+    cu = world.create_user_domain(client, "cu")
+    with su.activate():
+        server_file = dfs.create_file("arena.bin")
+        server_file.write(0, bytes(SPAN))
+    with cu.activate():
+        client_file = client.fs_context.resolve("dfs@server").resolve("arena.bin")
+        client_map = client.vmm.create_address_space("cu").map(
+            client_file, AccessRights.READ_WRITE
+        )
+    views = {
+        "server_file": (su, server_file),
+        "client_map": (cu, client_map),
+        "client_file": (cu, client_file),
+    }
+    return views
+
+
+class TestDistributedLinearHistory:
+    @given(ops=ops)
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_per_block(self, ops):
+        self._run("per_block", ops)
+
+    @given(ops=ops)
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_whole_file(self, ops):
+        self._run("whole_file", ops)
+
+    def _run(self, protocol, ops):
+        views = build(protocol)
+        oracle = bytearray(SPAN)
+        for step, (view, kind, offset, size) in enumerate(ops):
+            domain, obj = views[view]
+            if kind == "write":
+                data = bytes(((step * 29 + j) % 251) + 1 for j in range(size))
+                with domain.activate():
+                    obj.write(offset, data)
+                oracle[offset : offset + size] = data
+            else:
+                with domain.activate():
+                    got = obj.read(offset, size)
+                assert got == bytes(oracle[offset : offset + size]), (
+                    f"step {step}: {view} {kind} @{offset}+{size} ({protocol})"
+                )
+        for name, (domain, obj) in views.items():
+            with domain.activate():
+                assert obj.read(0, SPAN) == bytes(oracle), (name, protocol)

@@ -1,0 +1,97 @@
+"""Property-based tests for the page store: byte-level equivalence with
+a flat bytearray oracle under arbitrary read/write interleavings."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.types import PAGE_SIZE, AccessRights
+from repro.vm.page import PageStore
+
+SPAN = 4 * PAGE_SIZE
+
+offsets = st.integers(min_value=0, max_value=SPAN - 1)
+sizes = st.integers(min_value=1, max_value=PAGE_SIZE * 2)
+
+
+def zero_fault(store):
+    def fault(index, access):
+        return store.install(index, b"", AccessRights.READ_WRITE)
+
+    return fault
+
+
+class TestStoreMatchesOracle:
+    @given(
+        ops=st.lists(
+            st.tuples(offsets, st.binary(min_size=1, max_size=PAGE_SIZE)),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_writes_then_reads_match_flat_buffer(self, ops):
+        store = PageStore()
+        oracle = bytearray(SPAN + 2 * PAGE_SIZE)
+        fault = zero_fault(store)
+        for offset, data in ops:
+            store.write(offset, data, fault)
+            oracle[offset : offset + len(data)] = data
+        for offset, data in ops:
+            end = min(offset + len(data) + 64, len(oracle))
+            got = store.read(offset, end - offset, fault)
+            assert got == bytes(oracle[offset:end])
+
+    @given(
+        writes=st.lists(
+            st.tuples(offsets, st.binary(min_size=1, max_size=512)), max_size=20
+        ),
+        trunc=st.integers(min_value=0, max_value=SPAN),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_truncate_to_preserves_head_zeros_tail(self, writes, trunc):
+        store = PageStore()
+        oracle = bytearray(SPAN + 2 * PAGE_SIZE)
+        fault = zero_fault(store)
+        for offset, data in writes:
+            store.write(offset, data, fault)
+            oracle[offset : offset + len(data)] = data
+        store.truncate_to(trunc)
+        # Bytes below trunc that are still resident must match the oracle.
+        head = store.read(
+            0, trunc, lambda i, a: store.install(i, b"", AccessRights.READ_WRITE)
+        )
+        assert head == bytes(oracle[:trunc])
+        # No page wholly beyond trunc survives.
+        boundary = (trunc + PAGE_SIZE - 1) // PAGE_SIZE
+        assert all(index < boundary or trunc % PAGE_SIZE != 0 for index, _ in store.pages())
+
+    @given(
+        writes=st.lists(
+            st.tuples(offsets, st.binary(min_size=1, max_size=512)), max_size=15
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_collect_modified_covers_exactly_dirty_pages(self, writes):
+        store = PageStore()
+        fault = zero_fault(store)
+        for offset, data in writes:
+            store.write(offset, data, fault)
+        modified = store.collect_modified(0, SPAN + 2 * PAGE_SIZE)
+        dirty = {i for i, p in store.pages() if p.dirty}
+        assert set(modified) == dirty
+        store.clean_range(0, SPAN + 2 * PAGE_SIZE)
+        assert store.collect_modified(0, SPAN + 2 * PAGE_SIZE) == {}
+
+    @given(st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_drop_range_is_idempotent_and_complete(self, data):
+        store = PageStore()
+        fault = zero_fault(store)
+        for i in range(6):
+            store.write(i * PAGE_SIZE, bytes([i]) * 100, fault)
+        offset = data.draw(offsets)
+        size = data.draw(sizes)
+        first = store.drop_range(offset, size)
+        second = store.drop_range(offset, size)
+        assert second == []
+        for index, _ in first:
+            assert index not in store

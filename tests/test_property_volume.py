@@ -1,0 +1,124 @@
+"""Property-based tests for the volume engine: a stateful random
+workload against a dict-based oracle, with fsck invariants after every
+batch and across remounts."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.storage.block_device import RamDevice
+from repro.storage.inode import FileType
+from repro.storage.volume import Volume
+from repro.types import PAGE_SIZE
+from repro.world import World
+
+
+def fresh_volume():
+    world = World()
+    node = world.create_node("prop")
+    device = RamDevice(node.nucleus, "ram", 4096)
+    return Volume.mkfs(device, inode_count=128), device
+
+
+file_ids = st.integers(min_value=0, max_value=7)
+op = st.one_of(
+    st.tuples(st.just("write"), file_ids,
+              st.integers(0, 3 * PAGE_SIZE), st.binary(min_size=1, max_size=2048)),
+    st.tuples(st.just("truncate"), file_ids, st.integers(0, 4 * PAGE_SIZE)),
+    st.tuples(st.just("unlink"), file_ids),
+    st.tuples(st.just("read"), file_ids,
+              st.integers(0, 4 * PAGE_SIZE), st.integers(1, 2048)),
+)
+
+
+class TestVolumeAgainstOracle:
+    @given(ops=st.lists(op, max_size=40))
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_random_workload_matches_oracle(self, ops):
+        volume, _ = fresh_volume()
+        root = volume.sb.root_ino
+        oracle = {}       # name -> bytearray
+        inos = {}         # name -> ino
+        for action in ops:
+            kind, fid = action[0], action[1]
+            name = f"f{fid}"
+            if kind == "write":
+                _, _, offset, data = action
+                if name not in oracle:
+                    inos[name] = volume.create(root, name, FileType.REGULAR).ino
+                    oracle[name] = bytearray()
+                volume.write_data(inos[name], offset, data)
+                buf = oracle[name]
+                if len(buf) < offset + len(data):
+                    buf.extend(bytes(offset + len(data) - len(buf)))
+                buf[offset : offset + len(data)] = data
+            elif kind == "truncate":
+                _, _, length = action
+                if name in oracle:
+                    volume.truncate(inos[name], length)
+                    buf = oracle[name]
+                    if length <= len(buf):
+                        del buf[length:]
+                    else:
+                        buf.extend(bytes(length - len(buf)))
+            elif kind == "unlink":
+                if name in oracle:
+                    volume.unlink(root, name)
+                    del oracle[name]
+                    del inos[name]
+            elif kind == "read":
+                _, _, offset, size = action
+                if name in oracle:
+                    expected = bytes(oracle[name][offset : offset + size])
+                    assert volume.read_data(inos[name], offset, size) == expected
+        # Global invariants after the whole run.
+        assert volume.fsck() == []
+        for name, buf in oracle.items():
+            assert volume.iget(inos[name]).size == len(buf)
+            assert volume.read_data(inos[name], 0, len(buf)) == bytes(buf)
+
+    @given(
+        contents=st.dictionaries(
+            st.sampled_from(["a", "b", "c", "d"]),
+            st.binary(min_size=0, max_size=3 * PAGE_SIZE),
+            max_size=4,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_remount_roundtrip(self, contents):
+        volume, device = fresh_volume()
+        root = volume.sb.root_ino
+        for name, data in contents.items():
+            inode = volume.create(root, name, FileType.REGULAR)
+            if data:
+                volume.write_data(inode.ino, 0, data)
+        volume.sync()
+        again = Volume.mount(device)
+        assert again.fsck() == []
+        assert set(again.readdir(again.sb.root_ino)) == set(contents)
+        for name, data in contents.items():
+            ino = again.lookup(again.sb.root_ino, name)
+            assert again.read_data(ino, 0, len(data) + 10) == data
+
+    @given(sizes=st.lists(st.integers(0, 6 * PAGE_SIZE), min_size=1, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_allocator_conservation(self, sizes):
+        """Creating then deleting files returns the allocator to its
+        starting state — no leaked blocks."""
+        volume, _ = fresh_volume()
+        root = volume.sb.root_ino
+        baseline = volume.allocator.used_count
+        for i, size in enumerate(sizes):
+            inode = volume.create(root, f"t{i}", FileType.REGULAR)
+            if size:
+                volume.write_data(inode.ino, 0, b"z" * size)
+        for i in range(len(sizes)):
+            volume.unlink(root, f"t{i}")
+        # Root directory may have grown and shrunk; it rewrites compactly,
+        # so only its own blocks may remain.
+        assert volume.allocator.used_count <= baseline + 1
+        assert volume.fsck() == []

@@ -1,0 +1,97 @@
+"""Unit tests for the virtual clock and stopwatch."""
+
+import pytest
+
+from repro.sim.clock import SimClock, StopWatch
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now_us == 0.0
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(10.0)
+        clock.advance(2.5)
+        assert clock.now_us == 12.5
+
+    def test_negative_advance_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+        assert clock.now_us == 0.0
+
+    def test_zero_advance_allowed(self):
+        clock = SimClock()
+        clock.advance(0.0)
+        assert clock.now_us == 0.0
+
+    def test_category_attribution(self):
+        clock = SimClock()
+        clock.advance(5, "disk")
+        clock.advance(3, "disk")
+        clock.advance(2, "cpu")
+        assert clock.charged("disk") == 8
+        assert clock.charged("cpu") == 2
+        assert clock.charged("network") == 0
+
+    def test_categories_snapshot_is_copy(self):
+        clock = SimClock()
+        clock.advance(1, "cpu")
+        snapshot = clock.categories()
+        snapshot["cpu"] = 999
+        assert clock.charged("cpu") == 1
+
+    def test_listener_sees_every_charge(self):
+        clock = SimClock()
+        events = []
+        clock.add_listener(lambda cat, delta: events.append((cat, delta)))
+        clock.advance(4, "disk")
+        clock.advance(1, "cpu")
+        assert events == [("disk", 4), ("cpu", 1)]
+
+    def test_listener_removal(self):
+        clock = SimClock()
+        events = []
+        listener = lambda cat, delta: events.append(delta)
+        clock.add_listener(listener)
+        clock.advance(1)
+        clock.remove_listener(listener)
+        clock.advance(1)
+        assert events == [1]
+
+
+class TestStopWatch:
+    def test_measures_elapsed(self):
+        clock = SimClock()
+        clock.advance(100)
+        watch = StopWatch(clock)
+        with watch:
+            clock.advance(42)
+        assert watch.elapsed_us == 42
+
+    def test_breakdown_only_counts_window(self):
+        clock = SimClock()
+        clock.advance(100, "disk")
+        with StopWatch(clock) as watch:
+            clock.advance(7, "disk")
+            clock.advance(3, "cpu")
+        assert watch.breakdown == {"disk": 7, "cpu": 3}
+
+    def test_empty_window(self):
+        clock = SimClock()
+        with StopWatch(clock) as watch:
+            pass
+        assert watch.elapsed_us == 0
+        assert watch.breakdown == {}
+
+    def test_nested_watches(self):
+        clock = SimClock()
+        outer = StopWatch(clock)
+        inner = StopWatch(clock)
+        with outer:
+            clock.advance(5)
+            with inner:
+                clock.advance(10)
+        assert inner.elapsed_us == 10
+        assert outer.elapsed_us == 15

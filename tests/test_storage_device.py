@@ -1,0 +1,104 @@
+"""Unit tests for the simulated block device."""
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.storage.block_device import BlockDevice, RamDevice
+from repro.types import PAGE_SIZE
+
+
+@pytest.fixture
+def disk(node):
+    return BlockDevice(node.nucleus, "sd0", num_blocks=64)
+
+
+class TestBlockDevice:
+    def test_unwritten_blocks_read_zero(self, disk):
+        assert disk.read_block(5) == bytes(PAGE_SIZE)
+
+    def test_write_read_roundtrip(self, disk):
+        data = bytes(range(256)) * 16
+        disk.write_block(3, data)
+        assert disk.read_block(3) == data
+
+    def test_short_write_zero_padded(self, disk):
+        disk.write_block(0, b"abc")
+        block = disk.read_block(0)
+        assert block[:3] == b"abc"
+        assert block[3:] == bytes(PAGE_SIZE - 3)
+        assert len(block) == PAGE_SIZE
+
+    def test_oversize_write_rejected(self, disk):
+        with pytest.raises(DeviceError):
+            disk.write_block(0, bytes(PAGE_SIZE + 1))
+
+    @pytest.mark.parametrize("index", [-1, 64, 1000])
+    def test_out_of_range_rejected(self, disk, index):
+        with pytest.raises(DeviceError):
+            disk.read_block(index)
+        with pytest.raises(DeviceError):
+            disk.write_block(index, b"x")
+
+    def test_stats_counted(self, disk):
+        disk.read_block(0)
+        disk.write_block(1, b"a")
+        disk.read_block(1)
+        assert (disk.reads, disk.writes) == (2, 1)
+
+    def test_each_transfer_charges_disk_latency(self, world, disk):
+        before = world.clock.charged("disk")
+        disk.read_block(0)
+        per_read = world.clock.charged("disk") - before
+        assert per_read == world.cost_model.disk_io_us(PAGE_SIZE)
+        disk.write_block(0, b"x")
+        assert world.clock.charged("disk") == before + 2 * per_read
+
+    def test_capacity(self, disk):
+        assert disk.capacity_bytes() == 64 * PAGE_SIZE
+
+    def test_bad_geometry_rejected(self, node):
+        with pytest.raises(DeviceError):
+            BlockDevice(node.nucleus, "bad", num_blocks=0)
+
+    def test_peek_bypasses_accounting(self, world, disk):
+        disk.write_block(2, b"hidden")
+        reads_before, clock_before = disk.reads, world.clock.now_us
+        assert disk.peek(2)[:6] == b"hidden"
+        assert disk.reads == reads_before
+        assert world.clock.now_us == clock_before
+
+
+class TestFailureInjection:
+    def test_bad_block_read_fails(self, disk):
+        disk.write_block(7, b"data")
+        disk.inject_bad_block(7, "media error")
+        with pytest.raises(DeviceError, match="media error"):
+            disk.read_block(7)
+
+    def test_bad_block_write_fails(self, disk):
+        disk.inject_bad_block(8)
+        with pytest.raises(DeviceError):
+            disk.write_block(8, b"x")
+
+    def test_other_blocks_unaffected(self, disk):
+        disk.inject_bad_block(7)
+        disk.write_block(6, b"fine")
+        assert disk.read_block(6)[:4] == b"fine"
+
+    def test_clear_bad_blocks(self, disk):
+        disk.inject_bad_block(7)
+        disk.clear_bad_blocks()
+        disk.read_block(7)
+
+
+class TestRamDevice:
+    def test_no_latency(self, world, node):
+        ram = RamDevice(node.nucleus, "ram0", 16)
+        ram.write_block(0, b"quick")
+        ram.read_block(0)
+        assert world.clock.charged("disk") == 0
+
+    def test_still_a_block_device(self, node):
+        ram = RamDevice(node.nucleus, "ram0", 16)
+        ram.write_block(1, b"abc")
+        assert ram.read_block(1)[:3] == b"abc"

@@ -1,0 +1,129 @@
+"""Tests for the optional event tracer."""
+
+import pytest
+
+from repro.fs.sfs import create_sfs
+from repro.sim.trace import Tracer
+from repro.storage.block_device import BlockDevice
+from repro.types import PAGE_SIZE
+from repro.world import World
+
+
+class TestTracerUnit:
+    def test_records_in_order(self):
+        tracer = Tracer()
+        tracer.record(1.0, "a", "first")
+        tracer.record(2.0, "b", "second", extra=1)
+        events = tracer.events()
+        assert [e.name for e in events] == ["first", "second"]
+        assert events[1].detail == {"extra": 1}
+        assert events[0].seq < events[1].seq
+
+    def test_capacity_ring(self):
+        tracer = Tracer(capacity=3)
+        for i in range(5):
+            tracer.record(float(i), "x", f"e{i}")
+        assert tracer.names() == ["e2", "e3", "e4"]
+        assert tracer.dropped == 2
+
+    def test_category_filter(self):
+        tracer = Tracer()
+        tracer.record(0, "invoke", "a")
+        tracer.record(0, "disk", "b")
+        tracer.record(0, "invoke", "c")
+        assert tracer.names("invoke") == ["a", "c"]
+
+    def test_render_contains_events(self):
+        tracer = Tracer()
+        tracer.record(123.4, "net", "message", src="a")
+        out = tracer.render()
+        assert "message" in out and "src=a" in out
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.record(0, "x", "y")
+        tracer.clear()
+        assert len(tracer) == 0
+
+
+class TestTracerIntegration:
+    def test_disabled_by_default(self, world):
+        assert world.tracer is None
+        world.trace("x", "should not explode")
+
+    def test_invocations_traced(self, world, node, device, user):
+        stack = create_sfs(node, device)
+        tracer = world.enable_tracing()
+        with user.activate():
+            f = stack.top.create_file("t.dat")
+            f.write(0, b"traced")
+        invokes = tracer.events("invoke")
+        assert invokes, "no invocations traced"
+        assert any("create_file" in e.name for e in invokes)
+        # The path and placement are visible in the detail.
+        assert any(e.detail.get("path") == "cross_domain" for e in invokes)
+
+    def test_disk_transfers_traced(self, world, node, user):
+        device = BlockDevice(node.nucleus, "sd0", 4096)
+        stack = create_sfs(node, device, cache=False)
+        tracer = world.enable_tracing()
+        with user.activate():
+            f = stack.top.create_file("d.dat")
+            f.write(0, b"x" * PAGE_SIZE)
+        assert tracer.events("disk")
+
+    def test_network_messages_traced(self):
+        from repro.fs.dfs import export_dfs, mount_remote
+        from repro.storage.block_device import RamDevice
+
+        world = World()
+        server = world.create_node("server")
+        client = world.create_node("client")
+        stack = create_sfs(server, RamDevice(server.nucleus, "ram", 4096))
+        dfs = export_dfs(server, stack.top)
+        mount_remote(client, server, "dfs")
+        tracer = world.enable_tracing()
+        cu = world.create_user_domain(client, "cu")
+        with cu.activate():
+            ctx = client.fs_context.resolve("dfs@server")
+            ctx.create_file("r.dat").write(0, b"remote")
+        net = tracer.events("network")
+        assert net
+        assert net[0].detail["src"] == "client"
+        assert net[0].detail["dst"] == "server"
+
+    def test_trace_tells_the_fig9_story(self):
+        """A remote read's trace shows the layer-by-layer flow the
+        paper's sec. 4.5 walkthrough narrates."""
+        from repro.fs.creators import (
+            LayerSpec,
+            build_stack,
+            register_standard_creators,
+        )
+        from repro.fs.dfs import mount_remote
+        from repro.storage.block_device import RamDevice
+
+        world = World()
+        server = world.create_node("server")
+        client = world.create_node("client")
+        register_standard_creators(server)
+        sfs = create_sfs(server, RamDevice(server.nucleus, "ram", 8192))
+        compfs, dfs = build_stack(
+            server, sfs.top, [LayerSpec("compfs"), LayerSpec("dfs")],
+            export_as="stacked",
+        )
+        mount_remote(client, server, "stacked")
+        su = world.create_user_domain(server, "su")
+        cu = world.create_user_domain(client, "cu")
+        with su.activate():
+            f = dfs.create_file("walk.dat")
+            f.write(0, b"w" * PAGE_SIZE)
+            f.sync()
+        tracer = world.enable_tracing()
+        with cu.activate():
+            rf = client.fs_context.resolve("stacked@server").resolve("walk.dat")
+            rf.read(0, PAGE_SIZE)
+        names = tracer.names("invoke")
+        # The read hit DfsFile, then CompFile, then the SFS layers.
+        assert any(name.startswith("DfsFile.read") for name in names)
+        assert any(name.startswith("CompFile.read") for name in names)

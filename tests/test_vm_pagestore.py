@@ -1,0 +1,163 @@
+"""Unit tests for the shared page store."""
+
+import pytest
+
+from repro.types import PAGE_SIZE, AccessRights, page_aligned, page_range
+from repro.vm.page import CachedPage, PageStore
+
+RO = AccessRights.READ_ONLY
+RW = AccessRights.READ_WRITE
+
+
+def no_fault(index, access):
+    raise AssertionError(f"unexpected fault on page {index}")
+
+
+class TestTypesHelpers:
+    def test_page_range_single(self):
+        assert list(page_range(0, PAGE_SIZE)) == [0]
+
+    def test_page_range_straddles(self):
+        assert list(page_range(100, PAGE_SIZE)) == [0, 1]
+        assert list(page_range(PAGE_SIZE, 2 * PAGE_SIZE)) == [1, 2]
+
+    def test_page_range_empty(self):
+        assert list(page_range(0, 0)) == []
+        assert list(page_range(500, -1)) == []
+
+    def test_page_aligned(self):
+        assert page_aligned(0) and page_aligned(PAGE_SIZE)
+        assert not page_aligned(1)
+
+    def test_rights_covers(self):
+        assert RW.covers(RO) and RW.covers(RW) and RO.covers(RO)
+        assert not RO.covers(RW)
+        assert RW.writable and not RO.writable
+
+
+class TestInstallAndRead:
+    def test_install_pads_short_data(self):
+        store = PageStore()
+        page = store.install(0, b"abc", RO)
+        assert len(page.data) == PAGE_SIZE
+        assert bytes(page.data[:3]) == b"abc"
+
+    def test_read_within_page(self):
+        store = PageStore()
+        store.install(0, b"0123456789", RO)
+        assert store.read(2, 5, no_fault) == b"23456"
+
+    def test_read_across_pages(self):
+        store = PageStore()
+        store.install(0, b"A" * PAGE_SIZE, RO)
+        store.install(1, b"B" * PAGE_SIZE, RO)
+        data = store.read(PAGE_SIZE - 2, 4, no_fault)
+        assert data == b"AABB"
+
+    def test_read_faults_missing_pages(self):
+        store = PageStore()
+        faulted = []
+
+        def fault(index, access):
+            faulted.append(index)
+            return store.install(index, bytes([index]) * 8, access)
+
+        data = store.read(0, 2 * PAGE_SIZE, fault)
+        assert faulted == [0, 1]
+        assert data[0] == 0 and data[PAGE_SIZE] == 1
+
+    def test_replace_page(self):
+        store = PageStore()
+        store.install(0, b"old", RO)
+        store.install(0, b"new", RW)
+        assert store.read(0, 3, no_fault) == b"new"
+        assert store.get(0).rights is RW
+
+
+class TestWrite:
+    def test_write_marks_dirty(self):
+        store = PageStore()
+        store.install(0, b"", RW)
+        store.write(0, b"dirty", no_fault)
+        assert store.get(0).dirty
+        assert store.read(0, 5, no_fault) == b"dirty"
+
+    def test_write_faults_ro_page_for_upgrade(self):
+        store = PageStore()
+        store.install(0, b"readonly", RO)
+        upgrades = []
+
+        def fault(index, access):
+            upgrades.append((index, access))
+            return store.install(index, b"readonly", RW)
+
+        store.write(0, b"W", fault)
+        assert upgrades == [(0, RW)]
+
+    def test_write_across_pages(self):
+        store = PageStore()
+        store.install(0, b"", RW)
+        store.install(1, b"", RW)
+        blob = b"x" * 100
+        store.write(PAGE_SIZE - 50, blob, no_fault)
+        assert store.read(PAGE_SIZE - 50, 100, no_fault) == blob
+
+    def test_dirty_pages_listing(self):
+        store = PageStore()
+        store.install(0, b"", RW)
+        store.install(1, b"", RW)
+        store.write(PAGE_SIZE, b"z", no_fault)
+        assert [i for i, _ in store.dirty_pages()] == [1]
+
+
+class TestCoherencyHelpers:
+    @pytest.fixture
+    def store(self):
+        store = PageStore()
+        store.install(0, b"zero", RW)
+        store.install(1, b"one", RW)
+        store.install(2, b"two", RO)
+        store.write(0, b"ZERO", no_fault)  # dirty page 0
+        return store
+
+    def test_collect_modified(self, store):
+        modified = store.collect_modified(0, 3 * PAGE_SIZE)
+        assert list(modified) == [0]
+        assert modified[0][:4] == b"ZERO"
+
+    def test_collect_modified_range_limited(self, store):
+        assert store.collect_modified(PAGE_SIZE, 2 * PAGE_SIZE) == {}
+
+    def test_clean_range(self, store):
+        store.clean_range(0, PAGE_SIZE)
+        assert store.collect_modified(0, 3 * PAGE_SIZE) == {}
+
+    def test_downgrade_range(self, store):
+        store.downgrade_range(0, 2 * PAGE_SIZE)
+        assert store.get(0).rights is RO
+        assert store.get(1).rights is RO
+        assert store.get(2).rights is RO
+
+    def test_drop_range(self, store):
+        dropped = store.drop_range(0, 2 * PAGE_SIZE)
+        assert [i for i, _ in dropped] == [0, 1]
+        assert 0 not in store and 1 not in store and 2 in store
+
+    def test_zero_range_existing_cleaned(self, store):
+        store.zero_range(0, PAGE_SIZE)
+        page = store.get(0)
+        assert bytes(page.data) == bytes(PAGE_SIZE)
+        assert not page.dirty
+
+    def test_zero_range_installs_missing(self):
+        store = PageStore()
+        store.zero_range(0, 2 * PAGE_SIZE)
+        assert len(store) == 2
+
+    def test_clear_returns_everything(self, store):
+        everything = store.clear()
+        assert [i for i, _ in everything] == [0, 1, 2]
+        assert len(store) == 0
+
+    def test_resident_bytes(self, store):
+        assert store.resident_bytes() == 3 * PAGE_SIZE
