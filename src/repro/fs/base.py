@@ -82,6 +82,27 @@ class LayerPagerObject(FsPager):
         )
 
     @operation
+    def page_out_range(self, offset: int, size: int, data: bytes) -> None:
+        self.world.counters.inc(f"{self.layer.fs_type()}.page_out_range")
+        self.layer._pager_page_out_range(
+            self.source_key, self, offset, size, data, retain=None
+        )
+
+    @operation
+    def write_out_range(self, offset: int, size: int, data: bytes) -> None:
+        self.world.counters.inc(f"{self.layer.fs_type()}.write_out_range")
+        self.layer._pager_page_out_range(
+            self.source_key, self, offset, size, data, retain=AccessRights.READ_ONLY
+        )
+
+    @operation
+    def sync_range(self, offset: int, size: int, data: bytes) -> None:
+        self.world.counters.inc(f"{self.layer.fs_type()}.sync_range")
+        self.layer._pager_page_out_range(
+            self.source_key, self, offset, size, data, retain=AccessRights.READ_WRITE
+        )
+
+    @operation
     def done_with_pager_object(self) -> None:
         self.layer._pager_done(self.source_key, self)
         self.revoke()
@@ -300,6 +321,17 @@ class BaseLayer(StackableFs, CacheManager, abc.ABC):
         self, source_key, pager_object, offset: int, size: int, data: bytes, retain
     ) -> None:
         raise NotImplementedError(f"{self.fs_type()} does not accept pages")
+
+    def _pager_page_out_range(
+        self, source_key, pager_object, offset: int, size: int, data: bytes, retain
+    ) -> None:
+        """Vectored write-back: a contiguous multi-page run arrives in one
+        invocation.  The ``_pager_page_out`` hooks all accept arbitrary
+        sizes already, so the default forwards the whole run in one call;
+        layers with a cheaper vectored path below (the disk layer's
+        clustered device writes, DFS's ranged forwarding) override this.
+        """
+        self._pager_page_out(source_key, pager_object, offset, size, data, retain)
 
     def _pager_done(self, source_key, pager_object) -> None:
         for channel in self.channels.channels_for(source_key):

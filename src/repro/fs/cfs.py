@@ -154,9 +154,15 @@ class CfsLayer(BaseLayer):
 
     max_under = 0
 
-    def __init__(self, domain) -> None:
+    def __init__(self, domain, readahead_pages: int = 0) -> None:
         super().__init__(domain)
         self._states: Dict[Hashable, CfsFileState] = {}
+        #: Sequential read-ahead window for the mappings CFS reads and
+        #: writes through.  Applied per-cache (VmCache.readahead_override)
+        #: rather than via the node-wide VMM knob, so only CFS traffic is
+        #: affected; the ranged page-ins travel the whole remote stack —
+        #: DFS forwards them and the disk layer clusters.
+        self.readahead_pages = readahead_pages
 
     def fs_type(self) -> str:
         return "cfs"
@@ -222,6 +228,8 @@ class CfsLayer(BaseLayer):
             length=length,
         )
         state.mapping_length = length
+        if self.readahead_pages > 0:
+            state.mapping.cache.readahead_override = self.readahead_pages
 
     def file_read(self, state: CfsFileState, offset: int, size: int) -> bytes:
         self.world.charge.fs_read_cpu()
@@ -326,9 +334,9 @@ class CfsLayer(BaseLayer):
         return None
 
 
-def start_cfs(node) -> CfsLayer:
+def start_cfs(node, readahead_pages: int = 0) -> CfsLayer:
     """Boot a CFS server on a node (administratively optional)."""
     from repro.ipc.domain import Credentials
 
     domain = node.create_domain("cfs", Credentials("cfs", privileged=True))
-    return CfsLayer(domain)
+    return CfsLayer(domain, readahead_pages=readahead_pages)

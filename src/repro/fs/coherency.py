@@ -36,8 +36,9 @@ from repro.types import PAGE_SIZE, AccessRights, page_range
 from repro.vm.channel import BindResult, Channel
 from repro.vm.cache_object import FsCache
 from repro.vm.memory_object import CacheManager
-from repro.vm.page import CachedPage, PageStore
+from repro.vm.page import CachedPage, PageStore, index_runs
 from repro.vm.pager_object import FsPager
+from repro.vm.readahead import StreamTable
 
 from repro.fs.attributes import CachedAttributes, FileAttributes
 from repro.fs.base import BaseLayer
@@ -60,7 +61,7 @@ class CoherentFileState:
         self.down_channel: Optional[Channel] = None
         self.down_pager: Optional[FsPager] = None
         self.destroyed = False
-        self.last_fault_index: Optional[int] = None
+        self.streams = StreamTable()
 
 
 class CoherentFile(File):
@@ -178,12 +179,18 @@ class CoherencyLayer(BaseLayer):
         cache: bool = True,
         readahead_pages: int = 0,
         protocol: str = "per_block",
+        batch_pageout: bool = False,
     ) -> None:
         super().__init__(domain)
         self.cache_enabled = cache
         #: Sequential read-ahead window toward the layer below (sec. 8
         #: extension); 0 = off.
         self.readahead_pages = readahead_pages
+        #: Push contiguous dirty runs below as single ranged syncs
+        #: instead of one call per page.  Off by default, like
+        #: readahead_pages — Table 2/3 calibration assumes per-page
+        #: write-back.
+        self.batch_pageout = batch_pageout
         #: Coherency policy: "per_block" (the paper's production choice)
         #: or "whole_file" (coarse single-owner) — the protocol is not
         #: dictated by the architecture (sec. 3.3.3).
@@ -311,11 +318,7 @@ class CoherencyLayer(BaseLayer):
             effective = access if access.writable else needed
             self._ensure_down(state)
             window = self.readahead_pages
-            sequential = (
-                state.last_fault_index is not None
-                and index == state.last_fault_index + 1
-            )
-            state.last_fault_index = index
+            sequential = state.streams.observe(index)
             if window > 0 and sequential:
                 self.world.counters.inc("coherency.readahead")
                 data = state.down_channel.pager_object.page_in_range(
@@ -333,7 +336,7 @@ class CoherencyLayer(BaseLayer):
                             effective,
                         )
                 # Keep the scan looking sequential past the window.
-                state.last_fault_index = index + extra_pages
+                state.streams.advance_head(index + extra_pages)
                 return state.store.install(index, data[:PAGE_SIZE], effective)
             data = state.down_channel.pager_object.page_in(
                 index * PAGE_SIZE, PAGE_SIZE, effective
@@ -500,7 +503,11 @@ class CoherencyLayer(BaseLayer):
 
     def file_sync(self, state: CoherentFileState) -> None:
         """Push dirty attributes (first — the length clamps page-outs)
-        and dirty blocks to the lower layer."""
+        and dirty blocks to the lower layer.
+
+        Write-back order is deterministic: dirty pages ascend by index;
+        with ``batch_pageout`` set, contiguous runs go down as single
+        ranged syncs, in the same ascending order."""
         if not self.cache_enabled:
             return
         self._ensure_down(state)
@@ -508,6 +515,15 @@ class CoherencyLayer(BaseLayer):
             if state.down_pager is not None:
                 state.down_pager.attr_write_out(state.attrs.attrs.copy())
             state.attrs.dirty = False
+        if self.batch_pageout:
+            for run in state.store.dirty_runs():
+                data = b"".join(page.snapshot() for _, page in run)
+                state.down_channel.pager_object.sync_range(
+                    run[0][0] * PAGE_SIZE, len(data), data
+                )
+                for _, page in run:
+                    page.dirty = False
+            return
         for index, page in state.store.dirty_pages():
             state.down_channel.pager_object.sync(
                 index * PAGE_SIZE, PAGE_SIZE, page.snapshot()
@@ -558,10 +574,58 @@ class CoherencyLayer(BaseLayer):
             requester = self._requester_channel(source_key, pager_object)
             recovered = state.holders.acquire(requester, offset, size, access)
             self._merge_recovered(state, recovered)
+            # The upstream explicitly asked for this window, so fetching
+            # the missing pages below in clustered runs is demanded data,
+            # not speculation — no knob gates it.  This is what lets a
+            # read-ahead hint issued above a stacked layer survive all
+            # the way to the disk layer's clustering.
+            self._prefetch_missing(state, offset, size, access)
             return state.store.read(offset, size, self._fault_below(state, access))
-        return self._pager_page_in(
-            source_key, pager_object, offset, min_size, access
+        # Not caching: still forward the window so clustering below
+        # survives this layer instead of collapsing to the minimum.
+        size = min(
+            max_size, max(min_size, state.under_file.get_length() - offset)
         )
+        size = max(size, 0)
+        if size == 0:
+            return b""
+        requester = self._requester_channel(source_key, pager_object)
+        recovered = state.holders.acquire(requester, offset, size, access)
+        self._merge_recovered(state, recovered)  # pushed straight down
+        self._ensure_down(state)
+        return state.down_channel.pager_object.page_in_range(
+            offset, min_size, size, access
+        )
+
+    def _prefetch_missing(
+        self,
+        state: CoherentFileState,
+        offset: int,
+        size: int,
+        access: AccessRights,
+    ) -> None:
+        """Fetch the missing pages of ``[offset, offset + size)`` from
+        below as ranged page-ins, one per contiguous missing run.
+        Single-page gaps are left to the normal fault path (identical
+        cost, and they keep feeding the sequential-stream detector)."""
+        effective = access if access.writable else AccessRights.READ_ONLY
+        missing = [i for i in page_range(offset, size) if i not in state.store]
+        for run_start, run_len in index_runs(missing):
+            if run_len < 2:
+                continue
+            self._ensure_down(state)
+            data = state.down_channel.pager_object.page_in_range(
+                run_start * PAGE_SIZE,
+                run_len * PAGE_SIZE,
+                run_len * PAGE_SIZE,
+                effective,
+            )
+            for i in range(run_len):
+                state.store.install(
+                    run_start + i,
+                    data[i * PAGE_SIZE : (i + 1) * PAGE_SIZE],
+                    effective,
+                )
 
     def _pager_page_out(
         self, source_key, pager_object, offset: int, size: int, data: bytes, retain

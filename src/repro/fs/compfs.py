@@ -319,13 +319,14 @@ class CompFs(BaseLayer):
         self._ensure_down(state)
         compressed_size = state.under_file.get_length()
         if self.coherent and compressed_size > 0:
-            # Read through the channel so we are registered as a holder.
-            payload = bytearray()
-            for index in page_range(0, compressed_size):
-                payload += state.down_channel.pager_object.page_in(
-                    index * PAGE_SIZE, PAGE_SIZE, AccessRights.READ_ONLY
-                )
-            payload = bytes(payload[:compressed_size])
+            # Read through the channel so we are registered as a holder —
+            # one ranged page-in for the whole compressed payload, so the
+            # layers below can cluster instead of seeing a per-page loop.
+            payload = bytes(
+                state.down_channel.pager_object.page_in_range(
+                    0, compressed_size, compressed_size, AccessRights.READ_ONLY
+                )[:compressed_size]
+            )
         else:
             payload = state.under_file.read(0, compressed_size)
         plaintext = unpack_compressed(payload)
@@ -467,6 +468,20 @@ class CompFs(BaseLayer):
             return b""
         size = min(size, state.plain_size - offset)
         return state.plain.read(offset, size, self._zero_fault(state))
+
+    def _pager_page_in_range(
+        self, source_key, pager_object, offset, min_size, max_size, access
+    ) -> bytes:
+        """COMPFS holds the whole plaintext once loaded, so serving a
+        read-ahead window up to ``max_size`` costs nothing extra — the
+        hint survives to upstream caches instead of dying here."""
+        state = self._states_by_source[source_key]
+        self._ensure_loaded(state)
+        size = min(max_size, max(min_size, state.plain_size - offset))
+        size = max(size, 0)
+        if size == 0:
+            return b""
+        return self._pager_page_in(source_key, pager_object, offset, size, access)
 
     def _pager_page_out(
         self, source_key, pager_object, offset: int, size: int, data: bytes, retain

@@ -26,7 +26,7 @@ from repro.naming.context import NamingContext
 from repro.types import PAGE_SIZE, AccessRights, page_range
 from repro.vm.channel import BindResult, Channel
 from repro.vm.memory_object import CacheManager
-from repro.vm.page import PageStore
+from repro.vm.page import PageStore, index_runs
 
 from repro.fs.attributes import FileAttributes
 from repro.fs.base import BaseLayer
@@ -369,15 +369,33 @@ class CryptFs(BaseLayer):
         return len(data)
 
     def _flush_range(self, state: CryptFileState, offset: int, size: int) -> None:
-        """Write-through: encrypt and push the touched blocks below."""
+        """Write-through: encrypt and push the touched blocks below.
+        Contiguous dirty blocks go down as one ranged sync per run, so a
+        big sequential write pays one invocation per run instead of one
+        per 4 KB block."""
+        pending: list = []  # contiguous (index, ciphertext) run
         for index in page_range(offset, size):
             page = state.plain.get(index)
             if page is None or not page.dirty:
+                self._push_run(state, pending)
                 continue
             self.world.charge.encrypt(PAGE_SIZE)
-            ciphertext = xor_block(page.snapshot(), self.key, index)
-            self._page_push_under(state, index, ciphertext)
+            pending.append((index, xor_block(page.snapshot(), self.key, index)))
             page.dirty = False
+        self._push_run(state, pending)
+
+    def _push_run(self, state: CryptFileState, pending: list) -> None:
+        if not pending:
+            return
+        if len(pending) > 1 and self._ensure_down(state):
+            data = b"".join(ciphertext for _, ciphertext in pending)
+            state.down_channel.pager_object.sync_range(
+                pending[0][0] * PAGE_SIZE, len(data), data
+            )
+        else:
+            for index, ciphertext in pending:
+                self._page_push_under(state, index, ciphertext)
+        pending.clear()
 
     def file_set_length(self, state: CryptFileState, length: int) -> None:
         old = state.under_file.get_length()
@@ -425,6 +443,54 @@ class CryptFs(BaseLayer):
         recovered = state.holders.acquire(requester, offset, size, access)
         self._merge(state, recovered)
         return state.plain.read(offset, size, self._fault_decrypt(state, access))
+
+    def _pager_page_in_range(
+        self, source_key, pager_object, offset, min_size, max_size, access
+    ) -> bytes:
+        """Ranged page-in: fetch the missing ciphertext window from
+        below in clustered ranged calls, decrypt per block, and serve
+        the whole window — an upstream read-ahead hint survives the
+        encryption layer instead of collapsing to one page."""
+        state = self._states_by_source[source_key]
+        file_size = state.under_file.get_length()
+        size = min(max_size, max(min_size, file_size - offset))
+        size = max(size, 0)
+        if size == 0:
+            return b""
+        requester = None
+        for channel in self.channels.channels_for(source_key):
+            if channel.pager_object is pager_object:
+                requester = channel
+        recovered = state.holders.acquire(requester, offset, size, access)
+        self._merge(state, recovered)
+        self._prefetch_decrypt(state, offset, size, access)
+        return state.plain.read(offset, size, self._fault_decrypt(state, access))
+
+    def _prefetch_decrypt(
+        self, state: CryptFileState, offset: int, size: int, access: AccessRights
+    ) -> None:
+        """Pull the missing blocks of ``[offset, offset + size)`` from
+        below as contiguous ranged page-ins and install them decrypted.
+        In degraded file-interface mode (channel refused) the per-page
+        fault path handles them instead."""
+        if not self._ensure_down(state):
+            return
+        missing = [i for i in page_range(offset, size) if state.plain.get(i) is None]
+        for run_start, run_len in index_runs(missing):
+            if run_len < 2:
+                continue
+            ciphertext = state.down_channel.pager_object.page_in_range(
+                run_start * PAGE_SIZE,
+                run_len * PAGE_SIZE,
+                run_len * PAGE_SIZE,
+                access,
+            )
+            self.world.charge.decrypt(len(ciphertext))
+            for i in range(run_len):
+                block = ciphertext[i * PAGE_SIZE : (i + 1) * PAGE_SIZE]
+                state.plain.install(
+                    run_start + i, xor_block(block, self.key, run_start + i), access
+                )
 
     def _pager_page_out(
         self, source_key, pager_object, offset: int, size: int, data: bytes, retain

@@ -296,10 +296,27 @@ class DfsLayer(BaseLayer):
         if not recovered:
             return
         self._ensure_down(state)
+        run: list = []  # contiguous (index, data) run, pushed as one call
         for index, data in sorted(recovered.items()):
+            if run and index != run[-1][0] + 1:
+                self._push_run(state, run)
+            run.append((index, data))
+        self._push_run(state, run)
+
+    def _push_run(self, state: DfsFileState, run: list) -> None:
+        if not run:
+            return
+        if len(run) == 1:
+            index, chunk = run[0]
             state.down_channel.pager_object.page_out(
-                index * PAGE_SIZE, PAGE_SIZE, data
+                index * PAGE_SIZE, PAGE_SIZE, chunk
             )
+        else:
+            data = b"".join(chunk for _, chunk in run)
+            state.down_channel.pager_object.page_out_range(
+                run[0][0] * PAGE_SIZE, len(data), data
+            )
+        run.clear()
 
     def file_read(self, state: DfsFileState, offset: int, size: int) -> bytes:
         self.world.charge.fs_read_cpu()
@@ -384,6 +401,29 @@ class DfsLayer(BaseLayer):
                     self._push_recovered(state, recovered)
         self._ensure_down(state)
         state.down_channel.pager_object.page_out(offset, size, data)
+
+    def _pager_page_out_range(
+        self, source_key, pager_object, offset: int, size: int, data: bytes, retain
+    ) -> None:
+        """Vectored write-back from a remote client: same holder
+        bookkeeping as the single-page hook, then one ranged call below
+        so the batching survives to the disk layer's clustered writes."""
+        state = self._states_by_source[source_key]
+        for channel in self.channels.channels_for(source_key):
+            if channel.pager_object is pager_object:
+                if retain is None:
+                    state.holders.forget_range(channel, offset, size)
+                elif retain is AccessRights.READ_ONLY:
+                    state.holders.record(
+                        channel, offset, size, AccessRights.READ_ONLY
+                    )
+                else:
+                    recovered = state.holders.acquire(
+                        channel, offset, size, AccessRights.READ_WRITE
+                    )
+                    self._push_recovered(state, recovered)
+        self._ensure_down(state)
+        state.down_channel.pager_object.page_out_range(offset, size, data)
 
     def _pager_attr_page_in(self, source_key, pager_object) -> FileAttributes:
         state = self._states_by_source[source_key]

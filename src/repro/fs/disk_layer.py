@@ -299,6 +299,19 @@ class DiskLayer(BaseLayer):
         if usable > 0:
             self.volume.write_data(ino, offset, data[:usable])
 
+    def _pager_page_out_range(
+        self, source_key, pager_object, offset: int, size: int, data: bytes, retain
+    ) -> None:
+        """Vectored page-out: same clamping as the single-page hook, but
+        the device write clusters physically contiguous blocks into
+        multi-block transfers — one seek+rotation per run instead of one
+        per page."""
+        ino = self._ino_of(source_key)
+        file_size = self.volume.iget(ino).size
+        usable = min(size, len(data), max(0, file_size - offset))
+        if usable > 0:
+            self.volume.write_data_clustered(ino, offset, data[:usable])
+
     def _pager_attr_page_in(self, source_key, pager_object) -> FileAttributes:
         return FileAttributes.from_inode(self.volume.iget(self._ino_of(source_key)))
 

@@ -21,12 +21,21 @@ nothing; benchmarks always activate a client domain.
 from __future__ import annotations
 
 import functools
+import sys
 import threading
 from typing import Any, Callable, List, Optional, TypeVar
 
 from repro.errors import RevokedObjectError
 
 _tls = threading.local()
+
+#: Counter keys for the four invocation paths, interned once — the
+#: wrapper below runs on every simulated invocation, so it must not
+#: rebuild (and re-hash fresh copies of) these strings per call.
+_INVOKE_KEYS = {
+    path: sys.intern(f"invoke.{path}")
+    for path in ("direct", "local", "cross_domain", "network")
+}
 
 
 def _stack() -> List[Any]:
@@ -96,6 +105,8 @@ def operation(fn: F) -> F:
     active (so nested invocations are charged relative to the server).
     """
 
+    op_key = sys.intern(f"op.{fn.__name__}")
+
     @functools.wraps(fn)
     def wrapper(self: Any, *args: Any, **kwargs: Any) -> Any:
         if self._revoked:
@@ -118,8 +129,8 @@ def operation(fn: F) -> F:
             path = "network"
             request_bytes = _payload_bytes(args, kwargs)
             world.network.transfer(caller.node, server.node, request_bytes)
-        world.counters.inc(f"invoke.{path}")
-        world.counters.inc(f"op.{fn.__name__}")
+        world.counters.inc(_INVOKE_KEYS[path])
+        world.counters.inc(op_key)
         if world.tracer is not None:
             world.trace(
                 "invoke",

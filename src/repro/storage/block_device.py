@@ -90,6 +90,29 @@ class BlockDevice(SpringObject):
         return bytes(out)
 
     @operation
+    def write_blocks(self, start: int, data: bytes) -> None:
+        """Write whole physically contiguous blocks in ONE transfer — the
+        write-side counterpart of :meth:`read_blocks`: one seek +
+        rotational latency, then sequential media transfer.  This is
+        what makes batched page-out pay."""
+        if len(data) == 0 or len(data) % self.block_size != 0:
+            raise DeviceError(
+                f"write_blocks needs a positive multiple of {self.block_size} "
+                f"bytes, got {len(data)}"
+            )
+        count = len(data) // self.block_size
+        for index in range(start, start + count):
+            self._check(index)
+        if self.charge_latency:
+            self.world.charge.disk_io(len(data))
+        self.world.trace("disk", "transfer", device=self.name)
+        self.writes += 1
+        for i in range(count):
+            self._blocks[start + i] = bytes(
+                data[i * self.block_size : (i + 1) * self.block_size]
+            )
+
+    @operation
     def write_block(self, index: int, data: bytes) -> None:
         self._check(index)
         if len(data) > self.block_size:

@@ -26,6 +26,35 @@ class CachedPage:
         return bytes(self.data)
 
 
+def coalesce_runs(
+    pairs: List[Tuple[int, CachedPage]]
+) -> List[List[Tuple[int, CachedPage]]]:
+    """Group ascending ``(index, page)`` pairs into contiguous runs.
+
+    Each run is a maximal list of pairs with consecutive indices — the
+    unit the vectored pager ops (``page_out_range`` etc.) write in one
+    call.  Input order is preserved, so runs ascend whenever the input
+    does."""
+    runs: List[List[Tuple[int, CachedPage]]] = []
+    for index, page in pairs:
+        if runs and index == runs[-1][-1][0] + 1:
+            runs[-1].append((index, page))
+        else:
+            runs.append([(index, page)])
+    return runs
+
+
+def index_runs(indices: List[int]) -> List[Tuple[int, int]]:
+    """Coalesce ascending page indices into ``(start, count)`` runs."""
+    runs: List[Tuple[int, int]] = []
+    for index in indices:
+        if runs and index == runs[-1][0] + runs[-1][1]:
+            runs[-1] = (runs[-1][0], runs[-1][1] + 1)
+        else:
+            runs.append((index, 1))
+    return runs
+
+
 class PageStore:
     """A sparse page-indexed store with rights and dirty tracking.
 
@@ -33,10 +62,25 @@ class PageStore:
     :data:`repro.types.PAGE_SIZE` bytes.  Missing pages are faulted in by
     the owner via the ``fault`` callback given to :meth:`read` /
     :meth:`write`.
+
+    An optional ``observer`` (an object with ``page_installed(index,
+    page)`` / ``page_dropped(index, page)``) is notified whenever a page
+    enters or leaves the store — the VMM uses this to maintain its
+    resident-page count and eviction queues incrementally instead of
+    rescanning every cache per fault.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, observer: Optional[object] = None) -> None:
         self._pages: Dict[int, CachedPage] = {}
+        self.observer = observer
+
+    def _note_install(self, index: int, page: CachedPage) -> None:
+        if self.observer is not None:
+            self.observer.page_installed(index, page)
+
+    def _note_drop(self, index: int, page: CachedPage) -> None:
+        if self.observer is not None:
+            self.observer.page_dropped(index, page)
 
     # --- introspection ---------------------------------------------------
     def __len__(self) -> int:
@@ -53,6 +97,12 @@ class PageStore:
 
     def dirty_pages(self) -> List[Tuple[int, CachedPage]]:
         return [(i, p) for i, p in sorted(self._pages.items()) if p.dirty]
+
+    def dirty_runs(self) -> List[List[Tuple[int, CachedPage]]]:
+        """Dirty pages coalesced into contiguous ascending runs — one
+        ranged write-back per run.  A clean (or absent) page between two
+        dirty ones splits the run."""
+        return coalesce_runs(self.dirty_pages())
 
     def resident_bytes(self) -> int:
         return len(self._pages) * PAGE_SIZE
@@ -76,16 +126,24 @@ class PageStore:
         buf = bytearray(PAGE_SIZE)
         buf[: len(data)] = data
         page = CachedPage(buf, rights, dirty)
+        replaced = index in self._pages
         self._pages[index] = page
+        if not replaced:
+            self._note_install(index, page)
         return page
 
     def drop(self, index: int) -> Optional[CachedPage]:
-        return self._pages.pop(index, None)
+        page = self._pages.pop(index, None)
+        if page is not None:
+            self._note_drop(index, page)
+        return page
 
     def drop_range(self, offset: int, size: int) -> List[Tuple[int, CachedPage]]:
         dropped = []
         for index in sorted(self._tracked_pages(offset, size)):
-            dropped.append((index, self._pages.pop(index)))
+            page = self._pages.pop(index)
+            self._note_drop(index, page)
+            dropped.append((index, page))
         return dropped
 
     def zero_range(self, offset: int, size: int) -> None:
@@ -127,9 +185,11 @@ class PageStore:
         discard the whole boundary page."""
         boundary_page, within = divmod(length, PAGE_SIZE)
         for index in [p for p in self._pages if p > boundary_page]:
-            del self._pages[index]
+            self._note_drop(index, self._pages.pop(index))
         if within == 0:
-            self._pages.pop(boundary_page, None)
+            page = self._pages.pop(boundary_page, None)
+            if page is not None:
+                self._note_drop(boundary_page, page)
         else:
             page = self._pages.get(boundary_page)
             if page is not None:
@@ -138,6 +198,8 @@ class PageStore:
     def clear(self) -> List[Tuple[int, CachedPage]]:
         everything = sorted(self._pages.items())
         self._pages.clear()
+        for index, page in everything:
+            self._note_drop(index, page)
         return everything
 
     # --- byte-range access ---------------------------------------------------

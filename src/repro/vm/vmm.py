@@ -13,8 +13,9 @@ objects — and binds forwarded by layers like DFS — share cached pages.
 
 from __future__ import annotations
 
+import collections
 import dataclasses
-from typing import Dict, List, Optional
+from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from repro.errors import ChannelClosedError, OutOfRangeError, VmError
 from repro.ipc.invocation import operation
@@ -23,8 +24,9 @@ from repro.types import PAGE_SIZE, AccessRights
 from repro.vm.cache_object import CacheObject
 from repro.vm.channel import CacheRights, Channel
 from repro.vm.memory_object import CacheManager, MemoryObject
-from repro.vm.page import CachedPage, PageStore
+from repro.vm.page import CachedPage, PageStore, coalesce_runs
 from repro.vm.pager_object import PagerObject
+from repro.vm.readahead import StreamTable
 
 
 class VmCache:
@@ -35,11 +37,16 @@ class VmCache:
     def __init__(self, vmm: "Vmm", channel_label: str) -> None:
         self.vmm = vmm
         self.label = channel_label
-        self.store = PageStore()
+        self.store = PageStore(observer=self)
         self.channel: Optional[Channel] = None
         self.destroyed = False
         self.mappings = 0
-        self._last_fault_index: Optional[int] = None
+        self.streams = StreamTable()
+        #: Per-cache read-ahead window; None means use the node-wide
+        #: ``vmm.readahead_pages``.  Layers that map files through the
+        #: VMM (CFS) set this to get read-ahead on their own traffic
+        #: without changing the node's global policy.
+        self.readahead_override: Optional[int] = None
 
     @property
     def pager(self) -> PagerObject:
@@ -49,6 +56,13 @@ class VmCache:
     def check_live(self) -> None:
         if self.destroyed:
             raise ChannelClosedError(f"cache for {self.label!r} was destroyed")
+
+    # --- PageStore observer (incremental residency accounting) ---------------
+    def page_installed(self, index: int, page: CachedPage) -> None:
+        self.vmm._page_installed(self, index, page)
+
+    def page_dropped(self, index: int, page: CachedPage) -> None:
+        self.vmm._page_dropped(self, index)
 
     # --- faulting ------------------------------------------------------------
     def fault(self, index: int, access: AccessRights) -> CachedPage:
@@ -62,39 +76,72 @@ class VmCache:
         world = self.vmm.world
         world.charge.vm_fault()
         world.counters.inc("vmm.fault")
-        if self.vmm.capacity_pages is not None:
-            self.vmm.reclaim(pages_needed=1, protect=(self, index))
         offset = index * PAGE_SIZE
-        window = self.vmm.readahead_pages
-        sequential = self._last_fault_index is not None and (
-            index == self._last_fault_index + 1
-        )
-        self._last_fault_index = index
-        if window > 0 and sequential:
+        window = self.readahead_override
+        if window is None:
+            window = self.vmm.readahead_pages
+        sequential = self.streams.observe(index)
+        prefetching = window > 0 and sequential
+        if self.vmm.capacity_pages is not None:
+            # Reserve room for the whole window, not just the faulting
+            # page — otherwise a prefetch overshoots capacity_pages.
+            want = 1 + (window if prefetching else 0)
+            self.vmm.reclaim(
+                pages_needed=min(want, self.vmm.capacity_pages),
+                protect=(self, index),
+            )
+        if prefetching:
             world.counters.inc("vmm.readahead")
             data = self.pager.page_in_range(
                 offset, PAGE_SIZE, (1 + window) * PAGE_SIZE, access
             )
+            page = self.store.install(index, data[:PAGE_SIZE], access)
             extra_pages = max(0, (len(data) - 1) // PAGE_SIZE)
+            installed_through = index
             for i in range(1, extra_pages + 1):
+                if (
+                    self.vmm.capacity_pages is not None
+                    and self.vmm.resident_pages() >= self.vmm.capacity_pages
+                ):
+                    break  # never install speculative pages past the bound
                 if (index + i) not in self.store:
                     self.store.install(
                         index + i,
                         data[i * PAGE_SIZE : (i + 1) * PAGE_SIZE],
                         access,
                     )
-            # The next fault of a sequential scan lands after the
-            # prefetched window; treat it as sequential too.
-            self._last_fault_index = index + extra_pages
-            return self.store.install(index, data[:PAGE_SIZE], access)
+                installed_through = index + i
+            # The next fault of this scan lands after the prefetched
+            # window; move the stream head so it still looks sequential.
+            self.streams.advance_head(installed_through)
+            return page
         data = self.pager.page_in(offset, PAGE_SIZE, access)
         return self.store.install(index, data, access)
 
     # --- write-back ------------------------------------------------------------
     def sync(self) -> int:
         """Push dirty pages to the pager, retaining them in the same
-        mode.  Returns the number of pages written."""
+        mode.  Returns the number of pages written.
+
+        Write-back order is deterministic either way — dirty pages
+        ascend by index, and with ``vmm.batch_pageout`` set, contiguous
+        runs go out as single ranged calls in the same ascending order.
+        Benchmarks rely on this determinism for stable virtual time.
+        """
         self.check_live()
+        if self.vmm.batch_pageout:
+            runs = self.store.dirty_runs()
+            assert all(
+                a[-1][0] < b[0][0] for a, b in zip(runs, runs[1:])
+            ), "dirty runs must ascend"
+            count = 0
+            for run in runs:
+                data = b"".join(page.snapshot() for _, page in run)
+                self.pager.sync_range(run[0][0] * PAGE_SIZE, len(data), data)
+                for _, page in run:
+                    page.dirty = False
+                count += len(run)
+            return count
         dirty = self.store.dirty_pages()
         for index, page in dirty:
             self.pager.sync(index * PAGE_SIZE, PAGE_SIZE, page.snapshot())
@@ -102,14 +149,20 @@ class VmCache:
         return len(dirty)
 
     def flush(self) -> int:
-        """Push dirty pages and drop everything (page_out semantics)."""
+        """Push dirty pages and drop everything (page_out semantics).
+        Like :meth:`sync`, ascending order; batched into runs when
+        ``vmm.batch_pageout`` is set."""
         self.check_live()
-        count = 0
-        for index, page in self.store.clear():
-            if page.dirty:
-                self.pager.page_out(index * PAGE_SIZE, PAGE_SIZE, page.snapshot())
-                count += 1
-        return count
+        dropped = self.store.clear()
+        dirty = [(index, page) for index, page in dropped if page.dirty]
+        if self.vmm.batch_pageout:
+            for run in coalesce_runs(dirty):
+                data = b"".join(page.snapshot() for _, page in run)
+                self.pager.page_out_range(run[0][0] * PAGE_SIZE, len(data), data)
+            return len(dirty)
+        for index, page in dirty:
+            self.pager.page_out(index * PAGE_SIZE, PAGE_SIZE, page.snapshot())
+        return len(dirty)
 
 
 class VmmCacheObject(CacheObject):
@@ -266,6 +319,36 @@ class Vmm(CacheManager):
         #: dropped, dirty pages written out through their pagers.
         self.capacity_pages: Optional[int] = None
         self.evictions = 0
+        #: Coalesce contiguous dirty pages into ranged pager calls on
+        #: sync/flush/eviction.  Off by default — like readahead_pages,
+        #: it is a sec. 8-style extension ablated separately from the
+        #: Table 2/3 reproduction, whose calibration assumes per-page
+        #: write-back.
+        self.batch_pageout = False
+        #: Resident pages across all caches, maintained incrementally by
+        #: the PageStore observer hooks (never recomputed by scanning).
+        self._resident = 0
+        #: Eviction clock: FIFO queues of (cache, index) in installation
+        #: order, clean candidates separate from dirty ones.  Entries
+        #: are validated lazily on pop (see :meth:`reclaim`); the set
+        #: tracks which (cache, index) pairs are genuinely resident so
+        #: stale queue entries can be recognized in O(1).
+        self._clean_q: Deque[Tuple[VmCache, int]] = collections.deque()
+        self._dirty_q: Deque[Tuple[VmCache, int]] = collections.deque()
+        self._queued: Set[Tuple[VmCache, int]] = set()
+
+    # --- residency accounting (PageStore observer plumbing) -------------------
+    def _page_installed(self, cache: VmCache, index: int, page: CachedPage) -> None:
+        self._resident += 1
+        key = (cache, index)
+        if key not in self._queued:
+            self._queued.add(key)
+            (self._dirty_q if page.dirty else self._clean_q).append(key)
+
+    def _page_dropped(self, cache: VmCache, index: int) -> None:
+        self._resident -= 1
+        # The queue entry (if any) goes stale; reclaim discards it on pop.
+        self._queued.discard((cache, index))
 
     # --- cache-manager side of channel setup ----------------------------------
     @operation
@@ -306,7 +389,12 @@ class Vmm(CacheManager):
 
     # --- maintenance ----------------------------------------------------------
     def sync_all(self) -> int:
-        """Write back all dirty pages in all caches (shutdown/test aid)."""
+        """Write back all dirty pages in all caches (shutdown/test aid).
+
+        Deterministic order: caches in creation (bind) order, and within
+        each cache :meth:`VmCache.sync`'s ascending page order — the
+        run-coalescing rewrite preserves both, so repeated runs charge
+        identical virtual time."""
         return sum(
             cache.sync()
             for cache in self._caches_by_rights.values()
@@ -320,41 +408,96 @@ class Vmm(CacheManager):
     ) -> int:
         """Free pages until ``pages_needed`` fit under capacity_pages.
 
-        Two passes, deterministic order (caches in creation order, pages
-        ascending): clean pages are simply dropped; if that is not
-        enough, dirty pages are paged out.  ``protect`` is an optional
-        ``(cache, page_index)`` the current fault is about to install —
-        that one slot is never chosen as a victim.  Returns the number
-        of pages evicted.
+        Victims come from the two FIFO eviction queues maintained by the
+        PageStore observer hooks — clean pages first (dropped for free),
+        then dirty pages (paged out, coalesced into ranged calls when
+        ``batch_pageout`` is set).  The queues are validated lazily:
+        entries for pages that were dropped since enqueue are discarded
+        on pop, and an entry whose page changed dirtiness migrates to
+        the other queue.  Each entry is touched at most a constant
+        number of times over its lifetime, so eviction is amortized O(1)
+        per fault — the previous implementation re-walked every resident
+        page of every cache on every fault.
+
+        ``protect`` is an optional ``(cache, page_index)`` the current
+        fault is about to install — never chosen as a victim (requeued
+        at the tail).  Returns the number of pages evicted.
         """
         if self.capacity_pages is None:
             return 0
         target = self.capacity_pages - pages_needed
         evicted = 0
 
-        def over() -> bool:
-            return self.resident_pages() > target
+        # Pass 1: drop clean pages, oldest-installed first.
+        queue = self._clean_q
+        budget = len(queue) + 2  # slack: protect may be requeued once
+        while budget > 0 and queue and self._resident > target:
+            budget -= 1
+            key = queue.popleft()
+            if key not in self._queued:
+                continue  # stale: dropped since enqueue
+            cache, index = key
+            page = cache.store.get(index)
+            if page is None or cache.destroyed:
+                self._queued.discard(key)
+                continue
+            if key == protect:
+                queue.append(key)
+                continue
+            if page.dirty:
+                self._dirty_q.append(key)  # dirtied since enqueue: migrate
+                continue
+            cache.store.drop(index)  # observer updates _resident/_queued
+            evicted += 1
 
-        for dirty_pass in (False, True):
-            if not over():
-                break
-            for cache in self.live_caches():
-                for index, page in list(cache.store.pages()):
-                    if not over():
-                        break
-                    if protect is not None and (cache, index) == protect:
-                        continue
-                    if page.dirty != dirty_pass:
-                        continue
-                    if page.dirty:
-                        cache.pager.page_out(
-                            index * PAGE_SIZE, PAGE_SIZE, page.snapshot()
-                        )
-                    cache.store.drop(index)
-                    evicted += 1
+        # Pass 2: page out dirty pages.
+        if self._resident > target:
+            queue = self._dirty_q
+            budget = len(queue) + 2
+            victims: List[Tuple[VmCache, int, CachedPage]] = []
+            while budget > 0 and queue and self._resident - len(victims) > target:
+                budget -= 1
+                key = queue.popleft()
+                if key not in self._queued:
+                    continue
+                cache, index = key
+                page = cache.store.get(index)
+                if page is None or cache.destroyed:
+                    self._queued.discard(key)
+                    continue
+                if key == protect:
+                    queue.append(key)
+                    continue
+                if not page.dirty:
+                    self._clean_q.append(key)  # cleaned since enqueue
+                    continue
+                victims.append((cache, index, page))
+            evicted += self._evict_dirty(victims)
+
         self.evictions += evicted
         self.world.counters.inc("vmm.evicted", evicted)
         return evicted
+
+    def _evict_dirty(self, victims: List[Tuple[VmCache, int, CachedPage]]) -> int:
+        """Page out and drop the chosen dirty victims.  With
+        ``batch_pageout`` set, contiguous victims of one cache go out as
+        single ranged calls."""
+        if not self.batch_pageout:
+            for cache, index, page in victims:
+                cache.pager.page_out(index * PAGE_SIZE, PAGE_SIZE, page.snapshot())
+                cache.store.drop(index)
+            return len(victims)
+        by_cache: Dict[VmCache, List[Tuple[int, CachedPage]]] = {}
+        for cache, index, page in victims:
+            by_cache.setdefault(cache, []).append((index, page))
+        for cache, pairs in by_cache.items():
+            pairs.sort(key=lambda pair: pair[0])
+            for run in coalesce_runs(pairs):
+                data = b"".join(page.snapshot() for _, page in run)
+                cache.pager.page_out_range(run[0][0] * PAGE_SIZE, len(data), data)
+                for index, _ in run:
+                    cache.store.drop(index)
+        return len(victims)
 
     def cache_for_rights(self, rights: CacheRights) -> Optional[VmCache]:
         return self._caches_by_rights.get(rights.oid)
@@ -363,4 +506,6 @@ class Vmm(CacheManager):
         return [c for c in self._caches_by_rights.values() if not c.destroyed]
 
     def resident_pages(self) -> int:
-        return sum(len(c.store) for c in self.live_caches())
+        """Resident pages across all caches — an O(1) read of the
+        incrementally maintained counter."""
+        return self._resident

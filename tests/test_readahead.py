@@ -98,7 +98,7 @@ class TestCoherencyReadahead:
                 f.sync()
             state = next(iter(stack.coherency_layer._states.values()))
             state.store.clear()
-            state.last_fault_index = None
+            state.streams.reset()
             with user.activate():
                 handle = stack.top.resolve("scan.dat")
                 before = world.clock.now_us
@@ -111,7 +111,7 @@ class TestCoherencyReadahead:
     def test_readahead_data_correct(self, seq_env):
         stack, user, payload, state = seq_env
         stack.coherency_layer.readahead_pages = 8
-        state.last_fault_index = None
+        state.streams.reset()
         with user.activate():
             handle = stack.top.resolve("seq.dat")
             got = b"".join(
@@ -122,7 +122,7 @@ class TestCoherencyReadahead:
     def test_random_access_does_not_trigger_readahead(self, seq_env, world):
         stack, user, payload, state = seq_env
         stack.coherency_layer.readahead_pages = 8
-        state.last_fault_index = None
+        state.streams.reset()
         with user.activate():
             handle = stack.top.resolve("seq.dat")
             for page in (17, 3, 29, 11, 23):
