@@ -1,0 +1,53 @@
+"""Emit BENCH_ipc.json — the compound-invocation benchmark record.
+
+Runs the remote open+stat workload in all four ablation cells
+(name cache off/on x compound off/on) and records network messages,
+client->server bytes, and elapsed virtual time for each.  The
+``baseline`` cell is both knobs off — the library default — so its
+numbers double as a calibration check for the uncompounded path.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src:. python benchmarks/emit_bench_ipc.py
+
+Named ``emit_*`` rather than ``bench_*`` so pytest does not collect it.
+"""
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+
+from benchmarks.bench_ipc_compound import CELLS, NUM_FILES, ROUNDS, _run_cell
+
+OUT = os.path.join(os.path.dirname(__file__), "BENCH_ipc.json")
+
+
+def main() -> None:
+    cells = {}
+    for name, use_cache, use_compound in CELLS:
+        row = _run_cell(use_cache, use_compound)
+        row.pop("sizes")  # correctness detail, not a benchmark number
+        cells[name] = row
+    record = {
+        "workload": {
+            "description": "remote DFS-over-SFS open+stat by path",
+            "files": NUM_FILES,
+            "rounds": ROUNDS,
+        },
+        "cells": cells,
+    }
+    with open(OUT, "w") as fh:
+        fh.write(json.dumps(record, indent=2, sort_keys=True))
+        fh.write("\n")
+    baseline = cells["baseline"]["messages"]
+    compound = cells["compound"]["messages"]
+    reduction = 1 - compound / baseline
+    print(f"wrote {OUT}")
+    print(f"compound message reduction: {reduction:.1%} "
+          f"({baseline} -> {compound} messages)")
+
+
+if __name__ == "__main__":
+    main()

@@ -26,9 +26,11 @@ caching — the "Cached by Coherency Layer? No" rows of Table 2.
 
 from __future__ import annotations
 
+import contextlib
 from typing import Dict, Hashable, List, Optional
 
 from repro.errors import FsError, StaleFileError
+from repro.ipc.compound import compound_region
 from repro.ipc.invocation import operation
 from repro.ipc.narrow import narrow
 from repro.naming.context import NamingContext
@@ -180,9 +182,15 @@ class CoherencyLayer(BaseLayer):
         readahead_pages: int = 0,
         protocol: str = "per_block",
         batch_pageout: bool = False,
+        compound: bool = False,
     ) -> None:
         super().__init__(domain)
         self.cache_enabled = cache
+        #: Batch the per-holder coherency control messages (recalls,
+        #: write-denials, attribute invalidations) of one coherency
+        #: action into a single round trip per remote node.  Off by
+        #: default — Table 2/3 calibration charges per message.
+        self.compound = compound
         #: Sequential read-ahead window toward the layer below (sec. 8
         #: extension); 0 = off.
         self.readahead_pages = readahead_pages
@@ -200,6 +208,13 @@ class CoherencyLayer(BaseLayer):
 
     def fs_type(self) -> str:
         return "coherency"
+
+    def _fanout_region(self):
+        """A compound region around a holder/attribute fan-out when
+        batching is on, else a no-op context."""
+        if self.compound:
+            return compound_region(self.world)
+        return contextlib.nullcontext()
 
     # ------------------------------------------------------------ naming face
     @operation
@@ -371,18 +386,19 @@ class CoherencyLayer(BaseLayer):
         upstream file-system caches (narrowable to fs_cache) so this
         layer's view is current.  VMM channels are plain cache managers
         and are skipped — so this costs nothing in a plain SFS."""
-        for channel in self.channels.channels_for(state.source_key):
-            fs_cache = narrow(channel.cache_object, FsCache)
-            if fs_cache is None:
-                continue
-            fetched = fs_cache.write_back_attributes()
-            if fetched is not None:
-                if self.cache_enabled:
-                    state.attrs = CachedAttributes(fetched, dirty=True)
-                else:
-                    self._ensure_down(state)
-                    if state.down_pager is not None:
-                        state.down_pager.attr_write_out(fetched)
+        with self._fanout_region():
+            for channel in self.channels.channels_for(state.source_key):
+                fs_cache = narrow(channel.cache_object, FsCache)
+                if fs_cache is None:
+                    continue
+                fetched = fs_cache.write_back_attributes()
+                if fetched is not None:
+                    if self.cache_enabled:
+                        state.attrs = CachedAttributes(fetched, dirty=True)
+                    else:
+                        self._ensure_down(state)
+                        if state.down_pager is not None:
+                            state.down_pager.attr_write_out(fetched)
 
     def _current_attrs(self, state: CoherentFileState) -> FileAttributes:
         self._collect_latest_attrs(state)
@@ -405,12 +421,13 @@ class CoherencyLayer(BaseLayer):
     ) -> None:
         """Attribute-coherency fan-out: tell every upstream file-system
         cache (narrowable to fs_cache) to drop its attribute copy."""
-        for channel in self.channels.channels_for(state.source_key):
-            if exclude is not None and channel is exclude:
-                continue
-            fs_cache = narrow(channel.cache_object, FsCache)
-            if fs_cache is not None:
-                fs_cache.invalidate_attributes()
+        with self._fanout_region():
+            for channel in self.channels.channels_for(state.source_key):
+                if exclude is not None and channel is exclude:
+                    continue
+                fs_cache = narrow(channel.cache_object, FsCache)
+                if fs_cache is not None:
+                    fs_cache.invalidate_attributes()
 
     # --------------------------------------------------------------- file ops
     def file_read(self, state: CoherentFileState, offset: int, size: int) -> bytes:
@@ -419,7 +436,8 @@ class CoherencyLayer(BaseLayer):
         if offset >= attrs.size:
             return b""
         size = min(size, attrs.size - offset)
-        recovered = state.holders.collect_latest(offset, size)
+        with self._fanout_region():
+            recovered = state.holders.collect_latest(offset, size)
         self._merge_recovered(state, recovered)
         if self.cache_enabled:
             data = state.store.read(
@@ -458,9 +476,10 @@ class CoherencyLayer(BaseLayer):
 
     def file_write(self, state: CoherentFileState, offset: int, data: bytes) -> int:
         self.world.charge.fs_write_cpu()
-        recovered = state.holders.acquire(
-            None, offset, len(data), AccessRights.READ_WRITE
-        )
+        with self._fanout_region():
+            recovered = state.holders.acquire(
+                None, offset, len(data), AccessRights.READ_WRITE
+            )
         self._merge_recovered(state, recovered)
         self.world.charge.memcpy(len(data))
         if self.cache_enabled:
@@ -485,15 +504,16 @@ class CoherencyLayer(BaseLayer):
     def file_set_length(self, state: CoherentFileState, length: int) -> None:
         old = self._current_attrs(state).size
         if length < old:
-            if length % PAGE_SIZE:
-                # Recover the boundary page from any dirty holder before
-                # invalidating — its head (below the new length) survives.
-                boundary = (length // PAGE_SIZE) * PAGE_SIZE
-                recovered = state.holders.acquire(
-                    None, boundary, PAGE_SIZE, AccessRights.READ_WRITE
-                )
-                self._merge_recovered(state, recovered)
-            state.holders.invalidate(length, old - length)
+            with self._fanout_region():
+                if length % PAGE_SIZE:
+                    # Recover the boundary page from any dirty holder before
+                    # invalidating — its head (below the new length) survives.
+                    boundary = (length // PAGE_SIZE) * PAGE_SIZE
+                    recovered = state.holders.acquire(
+                        None, boundary, PAGE_SIZE, AccessRights.READ_WRITE
+                    )
+                    self._merge_recovered(state, recovered)
+                state.holders.invalidate(length, old - length)
             state.store.truncate_to(length)
         if self.cache_enabled:
             state.attrs.set_size(length)
@@ -553,7 +573,8 @@ class CoherencyLayer(BaseLayer):
     ) -> bytes:
         state = self._state_by_source(source_key)
         requester = self._requester_channel(source_key, pager_object)
-        recovered = state.holders.acquire(requester, offset, size, access)
+        with self._fanout_region():
+            recovered = state.holders.acquire(requester, offset, size, access)
         self._merge_recovered(state, recovered)
         if self.cache_enabled:
             return state.store.read(offset, size, self._fault_below(state, access))
@@ -572,7 +593,8 @@ class CoherencyLayer(BaseLayer):
             if size == 0:
                 return b""
             requester = self._requester_channel(source_key, pager_object)
-            recovered = state.holders.acquire(requester, offset, size, access)
+            with self._fanout_region():
+                recovered = state.holders.acquire(requester, offset, size, access)
             self._merge_recovered(state, recovered)
             # The upstream explicitly asked for this window, so fetching
             # the missing pages below in clustered runs is demanded data,
@@ -590,7 +612,8 @@ class CoherencyLayer(BaseLayer):
         if size == 0:
             return b""
         requester = self._requester_channel(source_key, pager_object)
-        recovered = state.holders.acquire(requester, offset, size, access)
+        with self._fanout_region():
+            recovered = state.holders.acquire(requester, offset, size, access)
         self._merge_recovered(state, recovered)  # pushed straight down
         self._ensure_down(state)
         return state.down_channel.pager_object.page_in_range(
@@ -675,7 +698,10 @@ class CoherencyLayer(BaseLayer):
     # the affected blocks from our own upstream holders (recursive
     # coherency, the P3-C3 arrow of Figure 6 composed with P1-C1).
     def _cache_flush_back(self, state, offset: int, size: int) -> Dict[int, bytes]:
-        recovered = state.holders.acquire(None, offset, size, AccessRights.READ_WRITE)
+        with self._fanout_region():
+            recovered = state.holders.acquire(
+                None, offset, size, AccessRights.READ_WRITE
+            )
         for index, data in recovered.items():
             state.store.install(index, data, AccessRights.READ_WRITE, dirty=True)
         modified = state.store.collect_modified(offset, size)
@@ -683,7 +709,10 @@ class CoherencyLayer(BaseLayer):
         return modified
 
     def _cache_deny_writes(self, state, offset: int, size: int) -> Dict[int, bytes]:
-        recovered = state.holders.acquire(None, offset, size, AccessRights.READ_ONLY)
+        with self._fanout_region():
+            recovered = state.holders.acquire(
+                None, offset, size, AccessRights.READ_ONLY
+            )
         for index, data in recovered.items():
             state.store.install(index, data, AccessRights.READ_WRITE, dirty=True)
         modified = state.store.collect_modified(offset, size)
@@ -692,7 +721,8 @@ class CoherencyLayer(BaseLayer):
         return modified
 
     def _cache_write_back(self, state, offset: int, size: int) -> Dict[int, bytes]:
-        recovered = state.holders.collect_latest(offset, size)
+        with self._fanout_region():
+            recovered = state.holders.collect_latest(offset, size)
         for index, data in recovered.items():
             state.store.install(index, data, AccessRights.READ_WRITE, dirty=True)
         modified = state.store.collect_modified(offset, size)
@@ -700,11 +730,13 @@ class CoherencyLayer(BaseLayer):
         return modified
 
     def _cache_delete_range(self, state, offset: int, size: int) -> None:
-        state.holders.invalidate(offset, size)
+        with self._fanout_region():
+            state.holders.invalidate(offset, size)
         state.store.drop_range(offset, size)
 
     def _cache_zero_fill(self, state, offset: int, size: int) -> None:
-        state.holders.invalidate(offset, size)
+        with self._fanout_region():
+            state.holders.invalidate(offset, size)
         state.store.zero_range(offset, size)
 
     def _cache_populate(

@@ -25,9 +25,12 @@ invocation — our network model charges every hop, which *is* the
 
 from __future__ import annotations
 
+import contextlib
+import dataclasses
 from typing import Dict, Hashable, Optional
 
 from repro.errors import FsError
+from repro.ipc.compound import compound_region
 from repro.ipc.invocation import current_domain, operation
 from repro.ipc.narrow import narrow
 from repro.naming.context import NamingContext
@@ -40,6 +43,17 @@ from repro.fs.attributes import FileAttributes
 from repro.fs.base import BaseLayer
 from repro.fs.file import File
 from repro.fs.holders import BlockHolderTable, make_holder_table
+
+
+@dataclasses.dataclass(frozen=True)
+class IntentOpenResult:
+    """Result of :meth:`DfsLayer.open_intent` — the open handle plus the
+    attributes the client would otherwise fetch in a separate round
+    trip.  The NFSv4/Lustre "intent" idea applied to the Spring open
+    protocol: lookup, access check, and attribute fetch travel together."""
+
+    file: "DfsFile"
+    attributes: FileAttributes
 
 
 class DfsFileState:
@@ -138,6 +152,12 @@ class DfsDirectory(NamingContext):
         return self.layer.wrap_resolved(self.under_context.resolve(name))
 
     @operation
+    def open_intent(self, name: str) -> "IntentOpenResult":
+        """Lookup + access check + attribute fetch in one invocation
+        (one round trip for a remote client)."""
+        return self.layer._open_intent(self.under_context, name)
+
+    @operation
     def bind(self, name: str, obj: object) -> None:
         self.under_context.bind(name, obj)
 
@@ -180,14 +200,26 @@ class DfsLayer(BaseLayer):
         domain,
         forward_local_binds: bool = True,
         protocol: str = "per_block",
+        compound: bool = False,
     ) -> None:
         super().__init__(domain)
         self.forward_local_binds = forward_local_binds
         #: Coherency policy for remote client channels (sec. 3.3.3: the
         #: protocol is the pager's choice).
         self.protocol = protocol
+        #: Batch per-holder coherency control messages (recalls,
+        #: write-denials, invalidations) into one round trip per remote
+        #: node.  Off by default: calibration is per-message.
+        self.compound = compound
         self._states: Dict[Hashable, DfsFileState] = {}
         self._states_by_source: Dict[Hashable, DfsFileState] = {}
+
+    def _fanout_region(self):
+        """A compound region around a holder fan-out when batching is on,
+        else a no-op context."""
+        if self.compound:
+            return compound_region(self.world)
+        return contextlib.nullcontext()
 
     def fs_type(self) -> str:
         return "dfs"
@@ -196,6 +228,25 @@ class DfsLayer(BaseLayer):
     @operation
     def resolve(self, name: str) -> object:
         return self.wrap_resolved(self.under.resolve(name))
+
+    @operation
+    def open_intent(self, name: str) -> IntentOpenResult:
+        """Lookup + access check + attribute fetch in one invocation
+        (one round trip for a remote client)."""
+        return self._open_intent(self.under, name)
+
+    def _open_intent(self, under_context, name: str) -> IntentOpenResult:
+        """Shared body of the intent-open operations: runs entirely on
+        the server, where every sub-step is a local or cross-domain call."""
+        obj = under_context.resolve(name)
+        under_file = narrow(obj, File)
+        if under_file is None:
+            raise FsError(f"{name!r} is not a file")
+        under_file.check_access(AccessRights.READ_ONLY)
+        attrs = under_file.get_attributes()
+        self.world.charge.fs_attr_copy()
+        self.world.counters.inc("dfs.intent_open")
+        return IntentOpenResult(DfsFile(self, self._state_for(under_file)), attrs)
 
     @operation
     def bind(self, name: str, obj: object) -> None:
@@ -320,21 +371,24 @@ class DfsLayer(BaseLayer):
 
     def file_read(self, state: DfsFileState, offset: int, size: int) -> bytes:
         self.world.charge.fs_read_cpu()
-        recovered = state.holders.collect_latest(offset, size)
-        self._push_recovered(state, recovered)
+        with self._fanout_region():
+            recovered = state.holders.collect_latest(offset, size)
+            self._push_recovered(state, recovered)
         data = state.under_file.read(offset, size)
         return data
 
     def file_write(self, state: DfsFileState, offset: int, data: bytes) -> int:
         self.world.charge.fs_write_cpu()
-        recovered = state.holders.acquire(
-            None, offset, len(data), AccessRights.READ_WRITE
-        )
-        self._push_recovered(state, recovered)
+        with self._fanout_region():
+            recovered = state.holders.acquire(
+                None, offset, len(data), AccessRights.READ_WRITE
+            )
+            self._push_recovered(state, recovered)
         return state.under_file.write(offset, data)
 
     def file_set_length(self, state: DfsFileState, length: int) -> None:
-        state.holders.invalidate(length, 2**62)
+        with self._fanout_region():
+            state.holders.invalidate(length, 2**62)
         state.under_file.set_length(length)
 
     def file_get_attributes(self, state: DfsFileState) -> FileAttributes:
@@ -354,8 +408,9 @@ class DfsLayer(BaseLayer):
         for channel in self.channels.channels_for(source_key):
             if channel.pager_object is pager_object:
                 requester = channel
-        recovered = state.holders.acquire(requester, offset, size, access)
-        self._push_recovered(state, recovered)
+        with self._fanout_region():
+            recovered = state.holders.acquire(requester, offset, size, access)
+            self._push_recovered(state, recovered)
         self._ensure_down(state)
         # Fetch through P2-C2 with the client's access mode so the layer
         # below runs its own coherency against local holders.
@@ -375,8 +430,9 @@ class DfsLayer(BaseLayer):
         size = max(0, min(max_size, max(min_size, file_size - offset)))
         if size == 0:
             return b""
-        recovered = state.holders.acquire(requester, offset, size, access)
-        self._push_recovered(state, recovered)
+        with self._fanout_region():
+            recovered = state.holders.acquire(requester, offset, size, access)
+            self._push_recovered(state, recovered)
         self._ensure_down(state)
         return state.down_channel.pager_object.page_in_range(
             offset, min_size, size, access
@@ -386,19 +442,20 @@ class DfsLayer(BaseLayer):
         self, source_key, pager_object, offset: int, size: int, data: bytes, retain
     ) -> None:
         state = self._states_by_source[source_key]
-        for channel in self.channels.channels_for(source_key):
-            if channel.pager_object is pager_object:
-                if retain is None:
-                    state.holders.forget_range(channel, offset, size)
-                elif retain is AccessRights.READ_ONLY:
-                    state.holders.record(
-                        channel, offset, size, AccessRights.READ_ONLY
-                    )
-                else:
-                    recovered = state.holders.acquire(
-                        channel, offset, size, AccessRights.READ_WRITE
-                    )
-                    self._push_recovered(state, recovered)
+        with self._fanout_region():
+            for channel in self.channels.channels_for(source_key):
+                if channel.pager_object is pager_object:
+                    if retain is None:
+                        state.holders.forget_range(channel, offset, size)
+                    elif retain is AccessRights.READ_ONLY:
+                        state.holders.record(
+                            channel, offset, size, AccessRights.READ_ONLY
+                        )
+                    else:
+                        recovered = state.holders.acquire(
+                            channel, offset, size, AccessRights.READ_WRITE
+                        )
+                        self._push_recovered(state, recovered)
         self._ensure_down(state)
         state.down_channel.pager_object.page_out(offset, size, data)
 
@@ -409,19 +466,20 @@ class DfsLayer(BaseLayer):
         bookkeeping as the single-page hook, then one ranged call below
         so the batching survives to the disk layer's clustered writes."""
         state = self._states_by_source[source_key]
-        for channel in self.channels.channels_for(source_key):
-            if channel.pager_object is pager_object:
-                if retain is None:
-                    state.holders.forget_range(channel, offset, size)
-                elif retain is AccessRights.READ_ONLY:
-                    state.holders.record(
-                        channel, offset, size, AccessRights.READ_ONLY
-                    )
-                else:
-                    recovered = state.holders.acquire(
-                        channel, offset, size, AccessRights.READ_WRITE
-                    )
-                    self._push_recovered(state, recovered)
+        with self._fanout_region():
+            for channel in self.channels.channels_for(source_key):
+                if channel.pager_object is pager_object:
+                    if retain is None:
+                        state.holders.forget_range(channel, offset, size)
+                    elif retain is AccessRights.READ_ONLY:
+                        state.holders.record(
+                            channel, offset, size, AccessRights.READ_ONLY
+                        )
+                    else:
+                        recovered = state.holders.acquire(
+                            channel, offset, size, AccessRights.READ_WRITE
+                        )
+                        self._push_recovered(state, recovered)
         self._ensure_down(state)
         state.down_channel.pager_object.page_out_range(offset, size, data)
 
@@ -448,19 +506,28 @@ class DfsLayer(BaseLayer):
     # network protocol will be communicated to SFS through the P2-C2
     # channel", and vice versa.
     def _cache_flush_back(self, state, offset: int, size: int) -> Dict[int, bytes]:
-        return state.holders.acquire(None, offset, size, AccessRights.READ_WRITE)
+        with self._fanout_region():
+            return state.holders.acquire(
+                None, offset, size, AccessRights.READ_WRITE
+            )
 
     def _cache_deny_writes(self, state, offset: int, size: int) -> Dict[int, bytes]:
-        return state.holders.acquire(None, offset, size, AccessRights.READ_ONLY)
+        with self._fanout_region():
+            return state.holders.acquire(
+                None, offset, size, AccessRights.READ_ONLY
+            )
 
     def _cache_write_back(self, state, offset: int, size: int) -> Dict[int, bytes]:
-        return state.holders.collect_latest(offset, size)
+        with self._fanout_region():
+            return state.holders.collect_latest(offset, size)
 
     def _cache_delete_range(self, state, offset: int, size: int) -> None:
-        state.holders.invalidate(offset, size)
+        with self._fanout_region():
+            state.holders.invalidate(offset, size)
 
     def _cache_zero_fill(self, state, offset: int, size: int) -> None:
-        state.holders.invalidate(offset, size)
+        with self._fanout_region():
+            state.holders.invalidate(offset, size)
 
     def _cache_populate(self, state, offset, size, access, data) -> None:
         pass  # nothing cached here
@@ -471,24 +538,27 @@ class DfsLayer(BaseLayer):
 
     def _cache_invalidate_attributes(self, state) -> None:
         # Remote attribute caches (CFS instances) must drop their copies.
-        for channel in self.channels.channels_for(state.source_key):
-            fs_cache = narrow(channel.cache_object, FsCache)
-            if fs_cache is not None:
-                fs_cache.invalidate_attributes()
+        with self._fanout_region():
+            for channel in self.channels.channels_for(state.source_key):
+                fs_cache = narrow(channel.cache_object, FsCache)
+                if fs_cache is not None:
+                    fs_cache.invalidate_attributes()
 
     def _cache_write_back_attributes(self, state) -> Optional[FileAttributes]:
         return None
 
 
-def export_dfs(server_node, under_fs, name: str = "dfs") -> DfsLayer:
+def export_dfs(server_node, under_fs, name: str = "dfs", **layer_kwargs) -> DfsLayer:
     """Administrative helper: create a DFS layer on ``server_node``, stack
-    it on ``under_fs``, and export it at ``/fs/<name>``."""
+    it on ``under_fs``, and export it at ``/fs/<name>``.  Extra keyword
+    arguments (``compound=True``, ``protocol=...``) pass through to
+    :class:`DfsLayer`."""
     from repro.ipc.domain import Credentials
 
     domain = server_node.create_domain(
         f"{name}-server", Credentials(name, privileged=True)
     )
-    dfs = DfsLayer(domain)
+    dfs = DfsLayer(domain, **layer_kwargs)
     dfs.stack_on(under_fs)
     server_node.fs_context.bind(name, dfs)
     return dfs

@@ -56,3 +56,25 @@ def domains_of(top: StackableFs) -> List[str]:
         if name not in seen:
             seen.append(name)
     return seen
+
+
+def nodes_of(top: StackableFs) -> List[str]:
+    """Distinct nodes the stack's layers run on, top-down."""
+    seen: List[str] = []
+    for layer in stack_layers(top):
+        name = layer.domain.node.name
+        if name not in seen:
+            seen.append(name)
+    return seen
+
+
+def remote_boundaries(top: StackableFs) -> int:
+    """Number of layer-to-layer edges in the stack that cross machines —
+    each one is a network round trip per uncompounded operation, which is
+    what the compound-invocation machinery batches away."""
+    count = 0
+    for layer in stack_layers(top):
+        for under in layer.under_layers():
+            if under.domain.node is not layer.domain.node:
+                count += 1
+    return count

@@ -1,6 +1,12 @@
 """Spring object/IPC model: objects, domains, nodes, invocation paths,
 narrowing, and interposition (paper sec. 3.1)."""
 
+from repro.ipc.compound import (
+    CompoundInvocation,
+    CompoundResult,
+    CompoundSubOpError,
+    compound_region,
+)
 from repro.ipc.domain import Credentials, Domain
 from repro.ipc.interpose import CallRecord, InterposerBase
 from repro.ipc.invocation import current_domain, operation
@@ -10,6 +16,10 @@ from repro.ipc.node import Node
 from repro.ipc.object import SpringObject
 
 __all__ = [
+    "CompoundInvocation",
+    "CompoundResult",
+    "CompoundSubOpError",
+    "compound_region",
     "Credentials",
     "Domain",
     "CallRecord",

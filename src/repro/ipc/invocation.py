@@ -29,12 +29,15 @@ from repro.errors import RevokedObjectError
 
 _tls = threading.local()
 
-#: Counter keys for the four invocation paths, interned once — the
+#: Counter keys for the five invocation paths, interned once — the
 #: wrapper below runs on every simulated invocation, so it must not
 #: rebuild (and re-hash fresh copies of) these strings per call.
+#: ``network_batched`` is a network-path invocation absorbed into a
+#: compound batch (see :mod:`repro.ipc.compound`): it rides a shared
+#: round trip instead of paying its own.
 _INVOKE_KEYS = {
     path: sys.intern(f"invoke.{path}")
-    for path in ("direct", "local", "cross_domain", "network")
+    for path in ("direct", "local", "cross_domain", "network", "network_batched")
 }
 
 
@@ -74,6 +77,37 @@ def push_domain(domain: Any) -> None:
 
 def pop_domain() -> None:
     _stack().pop()
+
+
+# --- compound-invocation regions ------------------------------------------
+# A region (see repro.ipc.compound.CompoundRegion) absorbs the network
+# hops issued by the domain that opened it, coalescing them into one
+# round trip per destination node.  The stack lives here so the hot
+# wrapper below needs no import of the compound module.
+
+def _region_stack() -> List[Any]:
+    stack = getattr(_tls, "regions", None)
+    if stack is None:
+        stack = []
+        _tls.regions = stack
+    return stack
+
+
+def push_compound_region(region: Any) -> None:
+    _region_stack().append(region)
+
+
+def pop_compound_region() -> None:
+    _region_stack().pop()
+
+
+def _absorbing_region(caller: Any, server: Any) -> Optional[Any]:
+    """Innermost active region willing to absorb a ``caller`` -> ``server``
+    network hop, or None."""
+    for region in reversed(_region_stack()):
+        if region.absorbs(caller, server):
+            return region
+    return None
 
 
 def bytes_in(value: Any) -> int:
@@ -126,9 +160,18 @@ def operation(fn: F) -> F:
             path = "cross_domain"
             world.charge.cross_domain_call()
         else:
-            path = "network"
             request_bytes = _payload_bytes(args, kwargs)
-            world.network.transfer(caller.node, server.node, request_bytes)
+            region = (
+                _absorbing_region(caller, server) if _region_stack() else None
+            )
+            if region is not None:
+                # Batched: the round trip is shared with the other ops of
+                # the compound; only the payload bytes are accumulated.
+                path = "network_batched"
+                region.absorb(caller.node, server.node, request_bytes)
+            else:
+                path = "network"
+                world.network.transfer(caller.node, server.node, request_bytes)
         world.counters.inc(_INVOKE_KEYS[path])
         world.counters.inc(op_key)
         if world.tracer is not None:

@@ -27,7 +27,11 @@ class Network:
         self.world = world
         self.messages = 0
         self.bytes_moved = 0
+        #: (src, dst) -> message count.
         self.per_pair: Dict[Tuple[str, str], int] = {}
+        #: (src, dst) -> bytes carried (requests and piggybacked replies
+        #: both count toward the direction they travel).
+        self.per_pair_bytes: Dict[Tuple[str, str], int] = {}
         self._partitions: Set[FrozenSet[str]] = set()
 
     # --- traffic ----------------------------------------------------------
@@ -42,6 +46,7 @@ class Network:
         self.bytes_moved += nbytes
         key = (src.name, dst.name)
         self.per_pair[key] = self.per_pair.get(key, 0) + 1
+        self.per_pair_bytes[key] = self.per_pair_bytes.get(key, 0) + nbytes
         self.world.charge.network(nbytes)
         self.world.trace("network", "message", src=src.name, dst=dst.name,
                          bytes=nbytes)
@@ -51,6 +56,8 @@ class Network:
         round trip was already charged."""
         self._check_reachable(src, dst)
         self.bytes_moved += nbytes
+        key = (src.name, dst.name)
+        self.per_pair_bytes[key] = self.per_pair_bytes.get(key, 0) + nbytes
         self.world.charge.network_payload(nbytes)
 
     # --- failure injection -------------------------------------------------
@@ -71,5 +78,16 @@ class Network:
                 f"network partition between {src.name!r} and {dst.name!r}"
             )
 
+    def ensure_reachable(self, src: "Node", dst: "Node") -> None:
+        """Public reachability check — raises if the pair is partitioned.
+        Used by the compound layer to fail a batched sub-operation
+        *before* it executes server-side."""
+        self._check_reachable(src, dst)
+
     def message_count(self, src: "Node", dst: "Node") -> int:
         return self.per_pair.get((src.name, dst.name), 0)
+
+    def bytes_count(self, src: "Node", dst: "Node") -> int:
+        """Bytes carried from ``src`` to ``dst`` (requests plus replies
+        travelling that direction)."""
+        return self.per_pair_bytes.get((src.name, dst.name), 0)

@@ -18,9 +18,11 @@ reproduced here:
 from __future__ import annotations
 
 import abc
+import dataclasses
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import (
+    FileNotFoundError_,
     NameAlreadyBoundError,
     NameNotFoundError,
     NotAContextError,
@@ -32,12 +34,119 @@ from repro.naming import name as names
 from repro.naming.acl import Acl, open_acl
 
 
+@dataclasses.dataclass(frozen=True)
+class ResolvedPath:
+    """Result of a server-side compound-name walk (:meth:`NamingContext.
+    resolve_path`).
+
+    ``path_oids`` are the identities of every context traversed —
+    including the wrapped chains under layer directories — so name
+    caches can invalidate precisely.  A failed walk is *returned*, not
+    raised (``missing`` names the path prefix that did not resolve), so
+    a caller paying one round trip for the walk also learns enough to
+    negative-cache the failure.
+    """
+
+    target: Optional[object]
+    path_oids: Tuple[int, ...]
+    missing: Optional[str] = None
+
+    @property
+    def found(self) -> bool:
+        return self.missing is None
+
+
 class NamingContext(SpringObject, abc.ABC):
     """The naming_context interface."""
 
     @abc.abstractmethod
     def resolve(self, name: str) -> object:
         """Resolve a (possibly compound) name to an object."""
+
+    @invocation.operation
+    def resolve_path(self, name: str) -> ResolvedPath:
+        """Walk every component of ``name`` server-side in one
+        invocation — one hop per serving *node* instead of one client
+        round trip per component.
+
+        The default implementation works for any context type: it
+        resolves component by component with the server's domain
+        active, so hops between contexts co-located on this node are
+        local or cross-domain calls, and delegates the remainder in a
+        single nested invocation whenever the walk crosses to a context
+        served by another node.
+        """
+        caller = invocation.calling_domain()
+        self._check_resolve_access(
+            caller.credentials if caller is not None else None
+        )
+        components = names.split_name(name)
+        oids: List[int] = []
+        current: object = self
+        for index, component in enumerate(components):
+            context = narrow(current, NamingContext)
+            if context is None:
+                raise NotAContextError(
+                    f"{components[index - 1]!r} is a "
+                    f"{type(current).__name__}, not a context; cannot "
+                    f"resolve remainder {names.SEPARATOR.join(components[index:])!r}"
+                )
+            if index > 0 and context.domain.node is not self.domain.node:
+                # The walk crossed machines: hand the remainder to the
+                # next node in one invocation, so the total cost is one
+                # hop per node boundary.
+                sub = context.resolve_path(
+                    names.SEPARATOR.join(components[index:])
+                )
+                return ResolvedPath(
+                    sub.target, tuple(oids) + sub.path_oids, sub.missing
+                )
+            oids.extend(context.path_identity())
+            try:
+                current = context.resolve(component)
+            except (NameNotFoundError, FileNotFoundError_):
+                # Plain contexts raise the former, file-system directory
+                # wrappers the latter; either way the walk ends here.
+                return ResolvedPath(
+                    None,
+                    tuple(oids),
+                    names.SEPARATOR.join(components[: index + 1]),
+                )
+        return ResolvedPath(current, tuple(oids))
+
+    def _check_resolve_access(self, credentials) -> None:
+        """Hook: first-hop access check for :meth:`resolve_path`.
+
+        The per-component ``resolve`` calls inside the walk authenticate
+        the chain (each context checks the domain serving the previous
+        one) exactly as recursive compound resolution always has; this
+        hook lets ACL-bearing contexts also authenticate the *original*
+        client on the first hop, matching a direct ``resolve``.
+        """
+
+    def path_identity(self) -> Tuple[int, ...]:
+        """Oids under which name-mutation events affecting this context
+        may fire: this object plus any wrapped context chain below it
+        (layer directories forward mutations to the context they wrap,
+        and the *wrapped* context is the one that fires the event).
+
+        Bookkeeping peek, not an invocation — it carries no payload and
+        models state the resolver already holds.
+        """
+        oids = [self.oid]
+        seen = {id(self)}
+        current: object = self
+        while True:
+            under = getattr(current, "under_context", None)
+            if under is None:
+                unders = getattr(current, "_under", None)
+                under = unders[0] if unders else None
+            if not isinstance(under, NamingContext) or id(under) in seen:
+                break
+            oids.append(under.oid)
+            seen.add(id(under))
+            current = under
+        return tuple(oids)
 
     @abc.abstractmethod
     def bind(self, name: str, obj: object) -> None:
@@ -80,6 +189,9 @@ class MemoryContext(NamingContext):
 
     def _notify_changed(self, component: str) -> None:
         self.world.name_event(self, component)
+
+    def _check_resolve_access(self, credentials) -> None:
+        self.acl.check_resolve(credentials)
 
     # --- naming_context operations -------------------------------------------
     @invocation.operation

@@ -48,6 +48,18 @@ def is_absolute(name: str) -> bool:
     return name.startswith(SEPARATOR)
 
 
+def normalize(name: str) -> str:
+    """Canonical textual form of a name relative to a given context:
+    components joined by the separator, leading slash dropped.  Used as
+    the name-cache key so ``/a/b`` and ``a/b`` against the same root
+    share one entry (and one prefix chain).
+
+    >>> normalize("/fs/sfs0")
+    'fs/sfs0'
+    """
+    return SEPARATOR.join(split_name(name))
+
+
 def head_tail(name: str) -> Tuple[str, str]:
     """Split into (first component, remainder) — remainder may be ''.
 

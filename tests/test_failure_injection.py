@@ -5,10 +5,16 @@ import pytest
 
 from repro.errors import (
     DeviceError,
+    FileNotFoundError_,
     NoSpaceError,
     RevokedObjectError,
 )
 from repro.fs.dfs import export_dfs, mount_remote
+from repro.ipc.compound import (
+    CompoundInvocation,
+    CompoundSubOpError,
+    compound_region,
+)
 from repro.fs.sfs import create_sfs
 from repro.ipc.network import NetworkPartitionError
 from repro.storage.block_device import BlockDevice, RamDevice
@@ -167,3 +173,77 @@ class TestRevocation:
                 f2, AccessRights.READ_ONLY
             )
             assert mapping2.read(0, 4) == b"dddd"
+
+
+class TestCompoundPartition:
+    """Network failure under batched invocation: a partition surfaces
+    exactly which sub-op failed, and sub-ops after the failure never
+    execute server-side (no partial state from a dead link)."""
+
+    @pytest.fixture
+    def dist(self, world):
+        server = world.create_node("server")
+        client = world.create_node("client")
+        device = BlockDevice(server.nucleus, "sd0", 8192)
+        sfs = create_sfs(server, device)
+        dfs = export_dfs(server, sfs.top)
+        mount_remote(client, server, "dfs")
+        cu = world.create_user_domain(client, "cu")
+        return world, server, client, dfs, cu
+
+    def test_partition_before_commit_fails_first_subop(self, dist):
+        world, server, client, dfs, cu = dist
+        world.network.partition(server, client)
+        batch = CompoundInvocation(world)
+        batch.add(dfs.create_file, "a.dat")
+        batch.add(dfs.create_file, "b.dat")
+        with cu.activate():
+            result = batch.commit()
+        assert not result.ok
+        assert result.failed_index == 0
+        with pytest.raises(CompoundSubOpError) as exc_info:
+            result[0]
+        assert isinstance(exc_info.value.cause, NetworkPartitionError)
+        # Nothing crossed the dead link, and no server-side state exists.
+        assert world.network.message_count(client, server) == 0
+        world.network.heal_all()
+        with cu.activate():
+            with pytest.raises(FileNotFoundError_):
+                dfs.resolve("a.dat")
+            with pytest.raises(FileNotFoundError_):
+                dfs.resolve("b.dat")
+
+    def test_mid_batch_failure_surfaces_index_and_skips_rest(self, dist):
+        world, server, client, dfs, cu = dist
+        batch = CompoundInvocation(world)
+        batch.add(dfs.create_file, "ok.dat")
+        batch.add(dfs.resolve, "missing.dat")  # fails server-side
+        batch.add(dfs.create_file, "never.dat")
+        with cu.activate():
+            result = batch.commit()
+        assert result.failed_index == 1
+        with pytest.raises(CompoundSubOpError) as exc_info:
+            result[1]
+        assert isinstance(exc_info.value.cause, FileNotFoundError_)
+        # Earlier results are usable; later sub-ops never ran.
+        assert result[0] is not None
+        with cu.activate():
+            assert dfs.resolve("ok.dat") is not None
+            with pytest.raises(FileNotFoundError_):
+                dfs.resolve("never.dat")
+
+    def test_region_partition_checked_per_absorbed_op(self, dist):
+        world, server, client, dfs, cu = dist
+        with cu.activate():
+            dfs.create_file("pre.dat")
+        world.network.partition(server, client)
+        with cu.activate():
+            with compound_region(world):
+                with pytest.raises(NetworkPartitionError):
+                    # Absorption checks reachability before the op body
+                    # runs: the file must not be created server-side.
+                    dfs.create_file("cut.dat")
+        world.network.heal_all()
+        with cu.activate():
+            with pytest.raises(FileNotFoundError_):
+                dfs.resolve("cut.dat")

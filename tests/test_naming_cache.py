@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import NameNotFoundError
 from repro.naming.cache import NameCache
 from repro.naming.context import MemoryContext
 
@@ -54,6 +55,125 @@ class TestNameCacheHits:
         for i in range(5):
             cache.resolve(root, f"n{i}")
         assert len(cache) <= 2
+
+
+class TestNameCacheLru:
+    def test_eviction_is_lru_not_wholesale(self, world, tree):
+        root, _ = tree
+        cache = NameCache(world, capacity=2, prefix=False)
+        for i in range(3):
+            root.bind(f"n{i}", i)
+        cache.resolve(root, "n0")
+        cache.resolve(root, "n1")
+        cache.resolve(root, "n0")  # refresh n0: n1 is now LRU
+        cache.resolve(root, "n2")  # evicts exactly n1
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert world.counters.get("namecache.evict") == 1
+        hits = cache.hits
+        cache.resolve(root, "n0")
+        assert cache.hits == hits + 1  # survived the eviction
+        cache.resolve(root, "n1")
+        assert cache.hits == hits + 1  # n1 was the one evicted
+
+    def test_hit_refreshes_entry(self, world, tree):
+        root, _ = tree
+        cache = NameCache(world, capacity=2, prefix=False)
+        for i in range(3):
+            root.bind(f"n{i}", i)
+        cache.resolve(root, "n0")
+        cache.resolve(root, "n1")
+        cache.resolve(root, "n0")  # hit moves n0 to MRU
+        cache.resolve(root, "n2")
+        hits = cache.hits
+        cache.resolve(root, "n0")
+        assert cache.hits == hits + 1
+
+
+class TestNegativeCaching:
+    def test_repeated_misses_hit_negative_entry(self, world, tree):
+        root, _ = tree
+        cache = NameCache(world)
+        with pytest.raises(NameNotFoundError):
+            cache.resolve(root, "sub/ghost")
+        with pytest.raises(NameNotFoundError):
+            cache.resolve(root, "sub/ghost")
+        assert cache.negative_hits == 1
+        assert world.counters.get("namecache.negative_hit") == 1
+
+    def test_negative_hit_costs_one_cache_charge(self, world, node, tree):
+        root, _ = tree
+        cache = NameCache(world)
+        user = world.create_user_domain(node)
+        with user.activate():
+            with pytest.raises(NameNotFoundError):
+                cache.resolve(root, "sub/ghost")
+            before = world.clock.now_us
+            with pytest.raises(NameNotFoundError):
+                cache.resolve(root, "sub/ghost")
+            assert world.clock.now_us - before == world.cost_model.name_cache_hit_us
+
+    def test_bind_invalidates_negative_entry(self, world, tree):
+        root, sub = tree
+        cache = NameCache(world)
+        with pytest.raises(NameNotFoundError):
+            cache.resolve(root, "sub/ghost")
+        sub.bind("ghost", "now-here")
+        assert cache.resolve(root, "sub/ghost") == "now-here"
+
+    def test_negative_off_knob(self, world, tree):
+        root, _ = tree
+        cache = NameCache(world, negative=False)
+        with pytest.raises(NameNotFoundError):
+            cache.resolve(root, "sub/ghost")
+        assert len(cache) == 0
+
+
+class TestPrefixSharing:
+    def test_cached_prefix_short_circuits_walk(self, world, node, tree):
+        root, sub = tree
+        deep = sub.create_context("deep")
+        deep.bind("leaf2", "v2")
+        cache = NameCache(world)
+        user = world.create_user_domain(node)
+        with user.activate():
+            cache.resolve(root, "sub/deep")  # caches the context itself
+            before = world.counters.get("op.resolve")
+            assert cache.resolve(root, "sub/deep/leaf2") == "v2"
+            resolves = world.counters.get("op.resolve") - before
+        # Only the uncached suffix was resolved (1 hop), not the prefix.
+        assert resolves == 1
+        assert cache.prefix_hits == 1
+        assert world.counters.get("namecache.prefix_hit") == 1
+
+    def test_prefix_consult_does_not_populate(self, world, tree):
+        root, _ = tree
+        cache = NameCache(world)
+        cache.resolve(root, "sub")
+        cache.resolve(root, "sub/leaf")
+        assert len(cache) == 2  # consult-only: no implicit prefix entries
+
+    def test_prefix_entry_invalidation_covers_derived_entry(self, world, tree):
+        root, sub = tree
+        cache = NameCache(world)
+        cache.resolve(root, "sub")
+        cache.resolve(root, "sub/leaf")  # resolved via the cached prefix
+        sub.rebind("leaf", "v2")
+        assert cache.resolve(root, "sub/leaf") == "v2"
+
+    def test_prefix_off_knob(self, world, node, tree):
+        root, sub = tree
+        deep = sub.create_context("deep")
+        deep.bind("leaf2", "v2")
+        cache = NameCache(world, prefix=False)
+        user = world.create_user_domain(node)
+        with user.activate():
+            cache.resolve(root, "sub/deep")
+            before = world.counters.get("op.resolve")
+            cache.resolve(root, "sub/deep/leaf2")
+            resolves = world.counters.get("op.resolve") - before
+        assert resolves == 3  # full walk, no short-circuit
+        assert cache.prefix_hits == 0
 
 
 class TestNameCacheInvalidation:
