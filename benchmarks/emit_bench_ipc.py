@@ -8,29 +8,30 @@ numbers double as a calibration check for the uncompounded path.
 
 Usage (from the repo root)::
 
-    PYTHONPATH=src:. python benchmarks/emit_bench_ipc.py
+    PYTHONPATH=src:. python benchmarks/emit_bench_ipc.py [--smoke]
 
 Named ``emit_*`` rather than ``bench_*`` so pytest does not collect it.
 """
 
-import json
 import os
 import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
 
+from benchmarks.emit_common import emit, ensure_repo_on_path
+
+ensure_repo_on_path()
+
 from benchmarks.bench_ipc_compound import CELLS, NUM_FILES, ROUNDS, _run_cell
 
-OUT = os.path.join(os.path.dirname(__file__), "BENCH_ipc.json")
 
-
-def main() -> None:
+def build_record() -> dict:
     cells = {}
     for name, use_cache, use_compound in CELLS:
         row = _run_cell(use_cache, use_compound)
         row.pop("sizes")  # correctness detail, not a benchmark number
         cells[name] = row
-    record = {
+    return {
         "workload": {
             "description": "remote DFS-over-SFS open+stat by path",
             "files": NUM_FILES,
@@ -38,16 +39,21 @@ def main() -> None:
         },
         "cells": cells,
     }
-    with open(OUT, "w") as fh:
-        fh.write(json.dumps(record, indent=2, sort_keys=True))
-        fh.write("\n")
-    baseline = cells["baseline"]["messages"]
-    compound = cells["compound"]["messages"]
+
+
+def summarize(record: dict) -> str:
+    baseline = record["cells"]["baseline"]["messages"]
+    compound = record["cells"]["compound"]["messages"]
     reduction = 1 - compound / baseline
-    print(f"wrote {OUT}")
-    print(f"compound message reduction: {reduction:.1%} "
-          f"({baseline} -> {compound} messages)")
+    return (
+        f"compound message reduction: {reduction:.1%} "
+        f"({baseline} -> {compound} messages)"
+    )
+
+
+def main(argv=None) -> int:
+    return emit("BENCH_ipc.json", build_record, summarize, argv)
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -7,26 +7,27 @@ counts for each scenario.
 
 Usage (from the repo root)::
 
-    PYTHONPATH=src:. python benchmarks/emit_bench_paging.py
+    PYTHONPATH=src:. python benchmarks/emit_bench_paging.py [--smoke]
 
 Named ``emit_*`` rather than ``bench_*`` so pytest does not collect it.
 """
 
-import json
 import os
 import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
 
+from benchmarks.emit_common import emit, ensure_repo_on_path
+
+ensure_repo_on_path()
+
 from benchmarks.bench_ablation_readahead import _cold_scan, _stacked_scan
 from benchmarks.bench_macro_workload import _run, _run_flush
 from repro.fs.sfs import PLACEMENTS
 
-OUT = os.path.join(os.path.dirname(__file__), "BENCH_paging.json")
 
-
-def main() -> None:
-    record = {
+def build_record() -> dict:
+    return {
         "macro_workload": {p: _run(p) for p in PLACEMENTS},
         "vectored_flush": {
             "per_page": _run_flush(False),
@@ -39,14 +40,17 @@ def main() -> None:
             f"window_{w}": _stacked_scan(w) for w in (0, 4, 8)
         },
     }
-    with open(OUT, "w") as fh:
-        fh.write(json.dumps(record, indent=2, sort_keys=True))
-        fh.write("\n")
+
+
+def summarize(record: dict) -> str:
     flush = record["vectored_flush"]
     gain = 1 - flush["batched"]["elapsed_ms"] / flush["per_page"]["elapsed_ms"]
-    print(f"wrote {OUT}")
-    print(f"vectored flush gain: {gain:.1%}")
+    return f"vectored flush gain: {gain:.1%}"
+
+
+def main(argv=None) -> int:
+    return emit("BENCH_paging.json", build_record, summarize, argv)
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

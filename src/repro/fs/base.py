@@ -1,31 +1,52 @@
-"""Common machinery for stackable file system layers.
+"""The stack runtime shared by every file system layer.
 
-Every layer needs the same plumbing the paper describes once and uses
-everywhere:
+The paper's central claim about stackable file systems is that a layer
+implements only the operations it *changes*; everything else flows
+through the pager/cache channel unchanged (sec. 4).  This module is that
+claim made concrete.  It provides:
 
-* the pager-side bind handshake with channel reuse (sec. 3.3.2),
-  via :class:`repro.vm.pager_base.ChannelRegistry`;
+* the pager-side bind handshake with channel reuse (sec. 3.3.2), via
+  :class:`repro.vm.pager_base.ChannelRegistry`;
 * a pager object per (file, cache manager) channel that exports the
-  ``fs_pager`` interface and delegates to the layer
-  (:class:`LayerPagerObject`);
-* for layers that also act as cache managers to a lower layer, an
-  ``fs_cache`` object per downstream channel (:class:`LayerFsCache`) and
-  the ``accept_channel`` side of the handshake;
-* ``stack_on`` bookkeeping with type/narrowing checks (sec. 4.4).
-
-Concrete layers (disk, coherency, COMPFS, DFS, ...) subclass
-:class:`BaseLayer` and implement the ``_pager_*`` / ``_cache_*`` hooks.
+  ``fs_pager`` interface (:class:`LayerPagerObject`) and an ``fs_cache``
+  object per downstream channel (:class:`LayerFsCache`), both of which
+  dispatch every channel operation through the layer's single
+  :class:`ChannelOps` table;
+* :class:`ChannelOps` — the dispatch spine.  Its defaults implement a
+  complete coherent pass-through layer (modelled on DFS's forwarding):
+  holder bookkeeping above, ranged forwarding below.  Concrete layers
+  subclass it and override only their transform points — COMPFS's
+  encode/decode, CRYPTFS's seal/unseal, the coherency layer's recall
+  policy;
+* :class:`StackConfig` — the per-stack knob bundle (``batch_pageout``,
+  ``compound``, ``readahead_pages``) propagated down the stack at
+  ``stack_on()`` time, replacing scattered per-layer attributes;
+* :class:`LayerRuntime` — uniform telemetry at the dispatch choke-point:
+  every dispatched op increments a standardized ``<layer>.<op>`` counter
+  (plus ``<layer>.<op>.bytes`` when data moves) and, when tracing is on,
+  emits a ``layer`` trace span carrying the layer name, stack depth, and
+  range;
+* generic per-file state (:class:`LayerFileState`), file/directory
+  wrappers (:class:`LayerFile`, :class:`ForwardingFile`,
+  :class:`LayerDirectory`) and a generic naming face on
+  :class:`BaseLayer`, so a transparent pass-through layer is just a
+  ``fs_type`` away (see ``nullfs.py``).
 """
 
 from __future__ import annotations
 
 import abc
+import contextlib
+import dataclasses
+import sys
 from typing import Any, Dict, Hashable, List, Optional, Tuple
 
-from repro.errors import StackingError
+from repro.errors import FsError, StackingError
+from repro.ipc.compound import compound_region
 from repro.ipc.invocation import operation
 from repro.ipc.narrow import narrow
-from repro.types import AccessRights
+from repro.naming.context import NamingContext
+from repro.types import PAGE_SIZE, AccessRights
 from repro.vm.cache_object import FsCache
 from repro.vm.channel import BindResult, CacheRights, Channel
 from repro.vm.memory_object import CacheManager
@@ -33,14 +54,316 @@ from repro.vm.pager_object import FsPager, PagerObject
 from repro.vm.pager_base import ChannelRegistry
 
 from repro.fs.attributes import FileAttributes
+from repro.fs.file import File
 from repro.fs.fs_interfaces import StackableFs
+from repro.fs.holders import make_holder_table
+
+#: Channel operations dispatched through the spine, pager side then
+#: cache side.  ``write_out``/``sync`` (and their ranged forms) are the
+#: retain-variants of ``page_out``; they share the page_out dispatch
+#: entry but are counted under their own wire names.
+PAGER_OPS: Tuple[str, ...] = (
+    "page_in",
+    "page_in_range",
+    "page_out",
+    "write_out",
+    "sync",
+    "page_out_range",
+    "write_out_range",
+    "sync_range",
+    "attr_page_in",
+    "attr_write_out",
+)
+CACHE_OPS: Tuple[str, ...] = (
+    "flush_back",
+    "deny_writes",
+    "write_back",
+    "delete_range",
+    "zero_fill",
+    "populate",
+    "destroy_cache",
+    "invalidate_attributes",
+    "write_back_attributes",
+)
+
+#: Everything a holder table may cover; "the rest of the file" for
+#: invalidations.
+WHOLE_FILE = 2**62
+
+
+def _pages_bytes(pages: Optional[Dict[int, bytes]]) -> int:
+    return sum(len(chunk) for chunk in pages.values()) if pages else 0
+
+
+@dataclasses.dataclass
+class StackConfig:
+    """Stack-wide tuning knobs, set once per stack.
+
+    Passing ``config=`` to :meth:`BaseLayer.stack_on` propagates a *copy*
+    to every layer already below, so a whole stack is configured in one
+    place.  Assigning a knob on an individual layer afterwards stays
+    local to that layer (benchmarks toggle single layers this way).
+    All knobs default off: calibration runs unbatched, uncompounded, and
+    without read-ahead.
+    """
+
+    #: Coalesce contiguous dirty runs into ranged page-outs on flush.
+    batch_pageout: bool = False
+    #: Batch per-holder coherency fan-out messages into one round trip
+    #: per remote node (see :mod:`repro.ipc.compound`).
+    compound: bool = False
+    #: Sequential read-ahead window, in pages, for layers that cluster.
+    readahead_pages: int = 0
+
+    def copy(self) -> "StackConfig":
+        return dataclasses.replace(self)
+
+
+class LayerRuntime:
+    """Per-layer telemetry, applied at the channel dispatch choke-point.
+
+    Every operation dispatched through :class:`LayerPagerObject` /
+    :class:`LayerFsCache` calls :meth:`record` exactly once, so the
+    ``<layer>.<op>`` counters are a complete census of channel traffic —
+    this is what ``report.py``'s per-layer breakdown reads.  Counter keys
+    are interned up front; the dispatch path runs on every simulated
+    page so it must not rebuild f-strings per call.
+    """
+
+    __slots__ = ("layer", "depth", "count_keys", "byte_keys")
+
+    def __init__(self, layer: "BaseLayer") -> None:
+        self.layer = layer
+        #: Number of layers below this one in its stack (0 = bottom);
+        #: maintained by :meth:`BaseLayer.stack_on`.
+        self.depth = 0
+        fs = layer.fs_type()
+        self.count_keys: Dict[str, str] = {
+            op: sys.intern(f"{fs}.{op}") for op in PAGER_OPS + CACHE_OPS
+        }
+        self.byte_keys: Dict[str, str] = {
+            op: sys.intern(f"{fs}.{op}.bytes") for op in PAGER_OPS + CACHE_OPS
+        }
+
+    def record(self, op: str, offset: Optional[int] = None, size: int = 0) -> None:
+        layer = self.layer
+        world = layer.world
+        key = self.count_keys[op]
+        world.counters.inc(key)
+        if size:
+            world.counters.inc(self.byte_keys[op], size)
+        if world.tracer is not None:
+            world.trace(
+                "layer",
+                key,
+                layer=layer.fs_type(),
+                depth=self.depth,
+                offset=offset,
+                size=size,
+            )
+
+
+class ChannelOps:
+    """The dispatch spine: one method per channel operation.
+
+    The defaults implement a *coherent pass-through*: holder bookkeeping
+    for the channels above (recalls, write-denials, invalidations fan
+    out to upstream caches) and ranged forwarding to the channel below.
+    DFS — the paper's remote-forwarding layer — is exactly this table
+    with no overrides.
+
+    Layers that transform data (COMPFS, CRYPTFS) or that cache it (the
+    coherency layer) override the ops they change and keep the rest.
+    Two conveniences keep those overrides small:
+
+    * a layer that overrides :meth:`page_in` / :meth:`page_out` receives
+      ranged traffic through the same override (the run is handed to it
+      whole) unless it also overrides the ranged op — so a transform
+      layer writes one decode and one encode, not four;
+    * the cache-side defaults no-op gracefully when the layer keeps no
+      holder table (``state.holders is None``).
+    """
+
+    #: Register a client as writer when it syncs with READ_WRITE retain.
+    #: CRYPTFS turns this off: it writes ciphertext through immediately,
+    #: so a syncing holder never needs to be recalled.
+    register_writers = True
+
+    def __init__(self, layer: "BaseLayer") -> None:
+        self.layer = layer
+
+    # --------------------------------------------------------------- helpers
+    def state(self, source_key: Hashable) -> Any:
+        return self.layer.state_by_source(source_key)
+
+    def requester(self, source_key: Hashable, pager_object) -> Optional[Channel]:
+        """The upstream channel this pager object serves, or None."""
+        for channel in self.layer.channels.channels_for(source_key):
+            if channel.pager_object is pager_object:
+                return channel
+        return None
+
+    def region(self):
+        """Compound region for a holder fan-out when batching is on."""
+        return self.layer.fanout_region()
+
+    def down(self, state) -> PagerObject:
+        """The downstream pager object, binding below on first use."""
+        self.layer.ensure_down(state)
+        return state.down_channel.pager_object
+
+    def data_length(self, state) -> int:
+        """File size used to clamp ranged page-ins."""
+        return state.under_file.get_length()
+
+    def clamp_window(self, state, offset: int, min_size: int, max_size: int) -> int:
+        """The paper's ranged page-in contract: at least ``min_size``
+        (the fault), at most ``max_size`` (the window), never past EOF
+        except to satisfy the minimum."""
+        return max(0, min(max_size, max(min_size, self.data_length(state) - offset)))
+
+    def merge_recovered(self, state, recovered: Dict[int, bytes]) -> None:
+        """Dispose of dirty pages recalled from upstream holders.  The
+        pass-through pushes them straight below; caching layers install
+        them instead."""
+        self.layer.push_recovered(state, recovered)
+
+    def writeback_bookkeeping(
+        self, state, requester: Optional[Channel], offset: int, size: int, retain
+    ) -> None:
+        """Holder-table update for an upstream write-back.  ``retain``
+        encodes the wire op: None (page_out — caller keeps nothing),
+        READ_ONLY (write_out), READ_WRITE (sync — caller stays writer)."""
+        if requester is None:
+            return
+        if retain is None:
+            state.holders.forget_range(requester, offset, size)
+        elif retain is AccessRights.READ_ONLY:
+            state.holders.record(requester, offset, size, AccessRights.READ_ONLY)
+        elif self.register_writers:
+            recovered = state.holders.acquire(
+                requester, offset, size, AccessRights.READ_WRITE
+            )
+            self.merge_recovered(state, recovered)
+
+    # ----------------------------------------------------------- pager side
+    def page_in(self, source_key, pager_object, offset, size, access) -> bytes:
+        state = self.state(source_key)
+        requester = self.requester(source_key, pager_object)
+        with self.region():
+            recovered = state.holders.acquire(requester, offset, size, access)
+            self.merge_recovered(state, recovered)
+        # Fetch below with the client's access mode so the layer below
+        # runs its own coherency against its other holders.
+        return self.down(state).page_in(offset, size, access)
+
+    def page_in_range(
+        self, source_key, pager_object, offset, min_size, max_size, access
+    ) -> bytes:
+        if type(self).page_in is not ChannelOps.page_in:
+            # The layer transforms page-ins; serve the minimum through
+            # its override rather than forwarding a range it never sees.
+            return self.page_in(source_key, pager_object, offset, min_size, access)
+        state = self.state(source_key)
+        requester = self.requester(source_key, pager_object)
+        size = self.clamp_window(state, offset, min_size, max_size)
+        if size == 0:
+            return b""
+        with self.region():
+            recovered = state.holders.acquire(requester, offset, size, access)
+            self.merge_recovered(state, recovered)
+        return self.down(state).page_in_range(offset, min_size, size, access)
+
+    def page_out(self, source_key, pager_object, offset, size, data, retain) -> None:
+        state = self.state(source_key)
+        with self.region():
+            self.writeback_bookkeeping(
+                state, self.requester(source_key, pager_object), offset, size, retain
+            )
+        self.down(state).page_out(offset, size, data)
+
+    def page_out_range(
+        self, source_key, pager_object, offset, size, data, retain
+    ) -> None:
+        if type(self).page_out is not ChannelOps.page_out:
+            # The layer transforms page-outs; hand it the whole run.
+            self.page_out(source_key, pager_object, offset, size, data, retain)
+            return
+        state = self.state(source_key)
+        with self.region():
+            self.writeback_bookkeeping(
+                state, self.requester(source_key, pager_object), offset, size, retain
+            )
+        # One ranged call below, so batching survives to the disk layer.
+        self.down(state).page_out_range(offset, size, data)
+
+    def attr_page_in(self, source_key, pager_object) -> FileAttributes:
+        return self.state(source_key).under_file.get_attributes()
+
+    def attr_write_out(self, source_key, pager_object, attrs) -> None:
+        state = self.state(source_key)
+        self.layer.ensure_down(state)
+        pager = self.layer.down_fs_pager(state.down_channel)
+        if pager is not None:
+            pager.attr_write_out(attrs)
+
+    # ----------------------------------------------------------- cache side
+    # Invoked by the layer below; the pass-through holds nothing itself,
+    # so every action fans out to the holders above.
+    def flush_back(self, state, offset, size) -> Dict[int, bytes]:
+        if state.holders is None:
+            return {}
+        with self.region():
+            return state.holders.acquire(None, offset, size, AccessRights.READ_WRITE)
+
+    def deny_writes(self, state, offset, size) -> Dict[int, bytes]:
+        if state.holders is None:
+            return {}
+        with self.region():
+            return state.holders.acquire(None, offset, size, AccessRights.READ_ONLY)
+
+    def write_back(self, state, offset, size) -> Dict[int, bytes]:
+        if state.holders is None:
+            return {}
+        with self.region():
+            return state.holders.collect_latest(offset, size)
+
+    def delete_range(self, state, offset, size) -> None:
+        if state.holders is None:
+            return
+        with self.region():
+            state.holders.invalidate(offset, size)
+
+    def zero_fill(self, state, offset, size) -> None:
+        if state.holders is None:
+            return
+        with self.region():
+            state.holders.invalidate(offset, size)
+
+    def populate(self, state, offset, size, access, data) -> None:
+        pass  # nothing cached here
+
+    def destroy_cache(self, state) -> None:
+        if state.holders is not None:
+            state.holders.invalidate(0, WHOLE_FILE)
+        state.down_channel = None
+
+    def invalidate_attributes(self, state) -> None:
+        # Upstream attribute caches must drop their copies.
+        self.layer.invalidate_upstream_attrs(state)
+
+    def write_back_attributes(self, state) -> Optional[FileAttributes]:
+        return None
 
 
 class LayerPagerObject(FsPager):
-    """The pager's end of a channel, delegating to the owning layer.
+    """The pager's end of a channel, dispatching into the owning layer's
+    :class:`ChannelOps` table.
 
     One exists per (source file, cache manager) channel; ``source_key``
-    identifies the file inside the layer.
+    identifies the file inside the layer.  The ``@operation`` methods
+    here are the single choke-point where invocation costs are charged
+    and per-layer telemetry is recorded.
     """
 
     def __init__(self, domain, layer: "BaseLayer", source_key: Hashable) -> None:
@@ -50,72 +373,82 @@ class LayerPagerObject(FsPager):
 
     @operation
     def page_in(self, offset: int, size: int, access: AccessRights) -> bytes:
-        self.world.counters.inc(f"{self.layer.fs_type()}.page_in")
-        return self.layer._pager_page_in(self.source_key, self, offset, size, access)
+        layer = self.layer
+        layer.runtime.record("page_in", offset, size)
+        return layer.ops.page_in(self.source_key, self, offset, size, access)
 
     @operation
     def page_in_range(
         self, offset: int, min_size: int, max_size: int, access: AccessRights
     ) -> bytes:
-        self.world.counters.inc(f"{self.layer.fs_type()}.page_in_range")
-        return self.layer._pager_page_in_range(
+        layer = self.layer
+        data = layer.ops.page_in_range(
             self.source_key, self, offset, min_size, max_size, access
         )
+        # Recorded after dispatch: the byte count is what actually moved.
+        layer.runtime.record("page_in_range", offset, len(data))
+        return data
 
     @operation
     def page_out(self, offset: int, size: int, data: bytes) -> None:
-        self.world.counters.inc(f"{self.layer.fs_type()}.page_out")
-        self.layer._pager_page_out(self.source_key, self, offset, size, data, retain=None)
+        layer = self.layer
+        layer.runtime.record("page_out", offset, size)
+        layer.ops.page_out(self.source_key, self, offset, size, data, retain=None)
 
     @operation
     def write_out(self, offset: int, size: int, data: bytes) -> None:
-        self.world.counters.inc(f"{self.layer.fs_type()}.write_out")
-        self.layer._pager_page_out(
+        layer = self.layer
+        layer.runtime.record("write_out", offset, size)
+        layer.ops.page_out(
             self.source_key, self, offset, size, data, retain=AccessRights.READ_ONLY
         )
 
     @operation
     def sync(self, offset: int, size: int, data: bytes) -> None:
-        self.world.counters.inc(f"{self.layer.fs_type()}.sync_op")
-        self.layer._pager_page_out(
+        layer = self.layer
+        layer.runtime.record("sync", offset, size)
+        layer.ops.page_out(
             self.source_key, self, offset, size, data, retain=AccessRights.READ_WRITE
         )
 
     @operation
     def page_out_range(self, offset: int, size: int, data: bytes) -> None:
-        self.world.counters.inc(f"{self.layer.fs_type()}.page_out_range")
-        self.layer._pager_page_out_range(
-            self.source_key, self, offset, size, data, retain=None
-        )
+        layer = self.layer
+        layer.runtime.record("page_out_range", offset, size)
+        layer.ops.page_out_range(self.source_key, self, offset, size, data, retain=None)
 
     @operation
     def write_out_range(self, offset: int, size: int, data: bytes) -> None:
-        self.world.counters.inc(f"{self.layer.fs_type()}.write_out_range")
-        self.layer._pager_page_out_range(
+        layer = self.layer
+        layer.runtime.record("write_out_range", offset, size)
+        layer.ops.page_out_range(
             self.source_key, self, offset, size, data, retain=AccessRights.READ_ONLY
         )
 
     @operation
     def sync_range(self, offset: int, size: int, data: bytes) -> None:
-        self.world.counters.inc(f"{self.layer.fs_type()}.sync_range")
-        self.layer._pager_page_out_range(
+        layer = self.layer
+        layer.runtime.record("sync_range", offset, size)
+        layer.ops.page_out_range(
             self.source_key, self, offset, size, data, retain=AccessRights.READ_WRITE
         )
 
     @operation
     def done_with_pager_object(self) -> None:
-        self.layer._pager_done(self.source_key, self)
+        self.layer._channel_done(self.source_key, self)
         self.revoke()
 
     @operation
     def attr_page_in(self) -> FileAttributes:
-        self.world.counters.inc(f"{self.layer.fs_type()}.attr_page_in")
-        return self.layer._pager_attr_page_in(self.source_key, self)
+        layer = self.layer
+        layer.runtime.record("attr_page_in")
+        return layer.ops.attr_page_in(self.source_key, self)
 
     @operation
     def attr_write_out(self, attrs: FileAttributes) -> None:
-        self.world.counters.inc(f"{self.layer.fs_type()}.attr_write_out")
-        self.layer._pager_attr_write_out(self.source_key, self, attrs)
+        layer = self.layer
+        layer.runtime.record("attr_write_out")
+        layer.ops.attr_write_out(self.source_key, self, attrs)
 
 
 class LayerFsCache(FsCache):
@@ -123,7 +456,8 @@ class LayerFsCache(FsCache):
 
     The lower pager invokes these to perform coherency actions against
     this layer's cached state for one file (``state`` is the layer's
-    per-file record).
+    per-file record).  Like the pager side, every call dispatches into
+    the layer's :class:`ChannelOps` table after recording telemetry.
     """
 
     def __init__(self, domain, layer: "BaseLayer", state: Any) -> None:
@@ -133,53 +467,267 @@ class LayerFsCache(FsCache):
 
     @operation
     def flush_back(self, offset: int, size: int) -> Dict[int, bytes]:
-        self.world.counters.inc(f"{self.layer.fs_type()}.flush_back")
-        return self.layer._cache_flush_back(self.state, offset, size)
+        layer = self.layer
+        pages = layer.ops.flush_back(self.state, offset, size)
+        layer.runtime.record("flush_back", offset, _pages_bytes(pages))
+        return pages
 
     @operation
     def deny_writes(self, offset: int, size: int) -> Dict[int, bytes]:
-        self.world.counters.inc(f"{self.layer.fs_type()}.deny_writes")
-        return self.layer._cache_deny_writes(self.state, offset, size)
+        layer = self.layer
+        pages = layer.ops.deny_writes(self.state, offset, size)
+        layer.runtime.record("deny_writes", offset, _pages_bytes(pages))
+        return pages
 
     @operation
     def write_back(self, offset: int, size: int) -> Dict[int, bytes]:
-        self.world.counters.inc(f"{self.layer.fs_type()}.write_back")
-        return self.layer._cache_write_back(self.state, offset, size)
+        layer = self.layer
+        pages = layer.ops.write_back(self.state, offset, size)
+        layer.runtime.record("write_back", offset, _pages_bytes(pages))
+        return pages
 
     @operation
     def delete_range(self, offset: int, size: int) -> None:
-        self.world.counters.inc(f"{self.layer.fs_type()}.delete_range")
-        self.layer._cache_delete_range(self.state, offset, size)
+        layer = self.layer
+        layer.runtime.record("delete_range", offset, size)
+        layer.ops.delete_range(self.state, offset, size)
 
     @operation
     def zero_fill(self, offset: int, size: int) -> None:
-        self.layer._cache_zero_fill(self.state, offset, size)
+        layer = self.layer
+        layer.runtime.record("zero_fill", offset, size)
+        layer.ops.zero_fill(self.state, offset, size)
 
     @operation
     def populate(
         self, offset: int, size: int, access: AccessRights, data: bytes
     ) -> None:
-        self.layer._cache_populate(self.state, offset, size, access, data)
+        layer = self.layer
+        layer.runtime.record("populate", offset, size)
+        layer.ops.populate(self.state, offset, size, access, data)
 
     @operation
     def destroy_cache(self) -> None:
-        self.layer._cache_destroy(self.state)
+        layer = self.layer
+        layer.runtime.record("destroy_cache")
+        layer.ops.destroy_cache(self.state)
 
     @operation
     def invalidate_attributes(self) -> None:
-        self.world.counters.inc(f"{self.layer.fs_type()}.invalidate_attributes")
-        self.layer._cache_invalidate_attributes(self.state)
+        layer = self.layer
+        layer.runtime.record("invalidate_attributes")
+        layer.ops.invalidate_attributes(self.state)
 
     @operation
     def write_back_attributes(self) -> Optional[FileAttributes]:
-        return self.layer._cache_write_back_attributes(self.state)
+        layer = self.layer
+        layer.runtime.record("write_back_attributes")
+        return layer.ops.write_back_attributes(self.state)
+
+
+class LayerFileState:
+    """Generic per-file state a layer keeps for one underlying file.
+
+    Layers subclass to add their caches (plaintext stores, attribute
+    copies); the spine relies only on the attributes set here.  A layer
+    that keeps no holder table (CFS) sets ``holders`` to None and the
+    cache-side defaults no-op.
+    """
+
+    def __init__(self, layer: "BaseLayer", under_file: File) -> None:
+        self.layer = layer
+        self.under_file = under_file
+        self.under_key = under_file.source_key
+        self.source_key: Hashable = (layer.source_tag(), layer.oid, self.under_key)
+        #: Upstream channels' coherency state (who caches what, how).
+        self.holders = layer._make_holders()
+        #: This layer as cache manager to the layer below.
+        self.down_channel: Optional[Channel] = None
+        self.down_pager: Optional[FsPager] = None
+
+    def purge(self) -> None:
+        """Drop everything before the underlying file is unlinked; the
+        freed i-node may be reused and stale state must not leak."""
+        if self.holders is not None:
+            self.holders.invalidate(0, WHOLE_FILE)
+        if self.down_channel is not None and not self.down_channel.closed:
+            self.down_channel.close()
+        self.down_channel = None
+        self.down_pager = None
+
+
+class LayerFile(File):
+    """Generic open handle for a layer's file: each operation delegates
+    to the layer's ``file_*`` hook, whose defaults forward to the
+    underlying file.  ``bind`` serves a channel from this layer."""
+
+    def __init__(self, layer: "BaseLayer", state: LayerFileState) -> None:
+        super().__init__(layer.domain)
+        self.layer = layer
+        self.state = state
+        self.source_key = state.source_key
+        layer.world.charge.fs_open_state()
+
+    @operation
+    def bind(
+        self,
+        cache_manager: CacheManager,
+        requested_access: AccessRights,
+        offset: int,
+        length: int,
+    ) -> BindResult:
+        return self.layer.bind_file(
+            self.state, cache_manager, requested_access, offset, length
+        )
+
+    @operation
+    def get_length(self) -> int:
+        return self.layer.file_length(self.state)
+
+    @operation
+    def set_length(self, length: int) -> None:
+        self.layer.file_set_length(self.state, length)
+
+    @operation
+    def read(self, offset: int, size: int) -> bytes:
+        return self.layer.file_read(self.state, offset, size)
+
+    @operation
+    def write(self, offset: int, data: bytes) -> int:
+        return self.layer.file_write(self.state, offset, data)
+
+    @operation
+    def get_attributes(self) -> FileAttributes:
+        return self.layer.file_get_attributes(self.state)
+
+    @operation
+    def check_access(self, access: AccessRights) -> None:
+        self.layer.file_check_access(self.state, access)
+
+    @operation
+    def sync(self) -> None:
+        self.layer.file_sync(self.state)
+
+
+class ForwardingFile(LayerFile):
+    """Fully transparent handle: every operation — including ``bind`` —
+    forwards straight to the underlying file, so the layer stays out of
+    the page traffic entirely (the nullfs/quotafs shape)."""
+
+    @property
+    def under_file(self) -> File:
+        return self.state.under_file
+
+    @operation
+    def bind(
+        self,
+        cache_manager: CacheManager,
+        requested_access: AccessRights,
+        offset: int,
+        length: int,
+    ) -> BindResult:
+        self.layer.world.counters.inc(f"{self.layer.fs_type()}.bind_forwarded")
+        return self.state.under_file.bind(
+            cache_manager, requested_access, offset, length
+        )
+
+    @operation
+    def get_length(self) -> int:
+        return self.state.under_file.get_length()
+
+    @operation
+    def set_length(self, length: int) -> None:
+        self.state.under_file.set_length(length)
+
+    @operation
+    def read(self, offset: int, size: int) -> bytes:
+        return self.state.under_file.read(offset, size)
+
+    @operation
+    def write(self, offset: int, data: bytes) -> int:
+        return self.state.under_file.write(offset, data)
+
+    @operation
+    def get_attributes(self) -> FileAttributes:
+        return self.state.under_file.get_attributes()
+
+    @operation
+    def check_access(self, access: AccessRights) -> None:
+        self.state.under_file.check_access(access)
+
+    @operation
+    def sync(self) -> None:
+        self.state.under_file.sync()
+
+
+class LayerDirectory(NamingContext):
+    """Generic directory wrapper: resolution returns wrapped objects,
+    mutation forwards below (purging layer state on unlink)."""
+
+    def __init__(self, layer: "BaseLayer", under_context: NamingContext) -> None:
+        super().__init__(layer.domain)
+        self.layer = layer
+        self.under_context = under_context
+
+    @operation
+    def resolve(self, name: str) -> object:
+        return self.layer.wrap_resolved(self.under_context.resolve(name))
+
+    @operation
+    def bind(self, name: str, obj: object) -> None:
+        self.under_context.bind(name, obj)
+
+    @operation
+    def unbind(self, name: str) -> object:
+        self.layer.purge_named(self.under_context, name)
+        return self.under_context.unbind(name)
+
+    @operation
+    def rebind(self, name: str, obj: object) -> object:
+        return self.under_context.rebind(name, obj)
+
+    @operation
+    def list_bindings(self):
+        return [
+            (name, self.layer.wrap_resolved(obj, charge_open=False))
+            for name, obj in self.under_context.list_bindings()
+        ]
+
+    @operation
+    def create_file(self, name: str) -> File:
+        return self.layer.wrap_resolved(self.under_context.create_file(name))
+
+    @operation
+    def create_dir(self, name: str) -> "LayerDirectory":
+        return type(self)(self.layer, self.under_context.create_dir(name))
+
+    @operation
+    def rename(self, old_name: str, new_name: str) -> None:
+        self.under_context.rename(old_name, new_name)
 
 
 class BaseLayer(StackableFs, CacheManager, abc.ABC):
-    """Shared implementation base for every file system layer."""
+    """Shared implementation base for every file system layer.
+
+    A minimal pass-through layer overrides nothing but ``fs_type``; the
+    defaults give it a naming face that wraps resolved files in
+    :class:`ForwardingFile` handles, a :class:`ChannelOps` spine, and
+    per-layer telemetry.  Transform layers customize three class
+    attributes — ``ops_class``, ``file_class``, ``directory_class`` —
+    and the ``file_*`` hooks.
+    """
 
     #: How many file systems this layer type may be stacked on.
     max_under = 1
+    #: Dispatch table class; layers override with their ChannelOps subclass.
+    ops_class = ChannelOps
+    #: Per-file state class (subclass of LayerFileState).
+    state_class = LayerFileState
+    #: Handle classes used by the generic naming face.
+    file_class = ForwardingFile
+    directory_class = LayerDirectory
+    #: Access requested when binding below on first downstream use.
+    down_access = AccessRights.READ_WRITE
 
     def __init__(self, domain) -> None:
         super().__init__(domain)
@@ -189,10 +737,67 @@ class BaseLayer(StackableFs, CacheManager, abc.ABC):
         #: Cache-manager side: downstream channels keyed by rights oid.
         self._down_channels_by_rights: Dict[int, Channel] = {}
         self._pending_bind_state: Any = None
+        #: Per-file state, by underlying file key and by our source key.
+        self._states: Dict[Hashable, Any] = {}
+        self._states_by_source: Dict[Hashable, Any] = {}
+        self.config = StackConfig()
+        self.ops: ChannelOps = self.ops_class(self)
+        self.runtime = LayerRuntime(self)
+
+    def source_tag(self) -> str:
+        """Tag used in this layer's source keys and channel labels."""
+        return self.fs_type()
+
+    def _make_holders(self):
+        """Holder table for a new file state; None means the layer keeps
+        no upstream coherency state of its own."""
+        return make_holder_table(getattr(self, "protocol", "per_block"))
+
+    # --------------------------------------------------------- configuration
+    @property
+    def batch_pageout(self) -> bool:
+        return self.config.batch_pageout
+
+    @batch_pageout.setter
+    def batch_pageout(self, value: bool) -> None:
+        self.config.batch_pageout = value
+
+    @property
+    def compound(self) -> bool:
+        return self.config.compound
+
+    @compound.setter
+    def compound(self, value: bool) -> None:
+        self.config.compound = value
+
+    @property
+    def readahead_pages(self) -> int:
+        return self.config.readahead_pages
+
+    @readahead_pages.setter
+    def readahead_pages(self, value: int) -> None:
+        self.config.readahead_pages = value
+
+    def apply_config(self, config: StackConfig) -> None:
+        """Adopt ``config`` (a private copy) and push it to every layer
+        below, so one call configures a whole stack."""
+        self.config = config.copy()
+        for under in self._under:
+            if isinstance(under, BaseLayer):
+                under.apply_config(config)
+
+    def fanout_region(self):
+        """A compound region around a holder fan-out when the stack's
+        ``compound`` knob is on, else a no-op context."""
+        if self.config.compound:
+            return compound_region(self.world)
+        return contextlib.nullcontext()
 
     # ------------------------------------------------------------- stacking
     @operation
-    def stack_on(self, underlying: StackableFs) -> None:
+    def stack_on(
+        self, underlying: StackableFs, config: Optional[StackConfig] = None
+    ) -> None:
         if narrow(underlying, StackableFs) is None:
             raise StackingError(
                 f"{type(underlying).__name__} is not a stackable_fs"
@@ -203,6 +808,14 @@ class BaseLayer(StackableFs, CacheManager, abc.ABC):
                 f"file system(s)"
             )
         self._under.append(underlying)
+        if config is not None:
+            self.apply_config(config)
+        if isinstance(underlying, BaseLayer):
+            self.runtime.depth = max(
+                self.runtime.depth, underlying.runtime.depth + 1
+            )
+        else:
+            self.runtime.depth = max(self.runtime.depth, 1)
         self._on_stacked(underlying)
 
     def _on_stacked(self, underlying: StackableFs) -> None:
@@ -220,6 +833,27 @@ class BaseLayer(StackableFs, CacheManager, abc.ABC):
         return self._under[0]
 
     # ---------------------------------------------------- pager-side binding
+    def bind_file(
+        self,
+        state: Any,
+        cache_manager: CacheManager,
+        requested_access: AccessRights,
+        offset: int,
+        length: int,
+    ) -> BindResult:
+        """Default ``bind`` behaviour for this layer's files: serve a
+        channel from this layer.  (The downstream channel is established
+        lazily, on first fault; layers that must participate in the
+        lower layer's coherency from the start — DFS — call
+        :meth:`ensure_down` before this.)"""
+        return self.bind_source(
+            state.source_key,
+            cache_manager,
+            requested_access,
+            offset,
+            label=f"{self.source_tag()}:{state.under_key}",
+        )
+
     def bind_source(
         self,
         source_key: Hashable,
@@ -249,6 +883,22 @@ class BaseLayer(StackableFs, CacheManager, abc.ABC):
     def _on_channel_created(self, source_key: Hashable, channel: Channel) -> None:
         """Hook: a new upstream channel exists; layers narrow the cache
         object to fs_cache here if they care (paper sec. 4.3)."""
+
+    def _channel_done(self, source_key: Hashable, pager_object) -> None:
+        """An upstream cache manager closed its channel end."""
+        for channel in self.channels.channels_for(source_key):
+            if channel.pager_object is pager_object:
+                channel.closed = True
+                self.channels.forget(channel)
+                self._on_channel_closed(source_key, channel)
+
+    def _on_channel_closed(self, source_key: Hashable, channel: Channel) -> None:
+        """Hook: an upstream channel went away.  The default drops the
+        departing holder from the file's coherency state."""
+        state = self._states_by_source.get(source_key)
+        holders = getattr(state, "holders", None) if state is not None else None
+        if holders is not None:
+            holders.drop_channel(channel)
 
     # ------------------------------------------------- cache-manager side
     @operation
@@ -284,10 +934,184 @@ class BaseLayer(StackableFs, CacheManager, abc.ABC):
             )
         return channel
 
+    def ensure_down(self, state: Any) -> bool:
+        """Establish the downstream channel (this layer as cache manager
+        to the layer below) on first use.  Returns False from overrides
+        that decline (CRYPTFS's degraded mode, COMPFS uncoherent)."""
+        if state.down_channel is not None and not state.down_channel.closed:
+            return True
+        state.down_channel = self.bind_below(state, state.under_file, self.down_access)
+        state.down_pager = self.down_fs_pager(state.down_channel)
+        return True
+
     def down_fs_pager(self, channel: Channel) -> Optional[FsPager]:
         """Narrow the downstream pager object to fs_pager; None means the
         lower side is a plain storage pager (paper sec. 4.3)."""
         return narrow(channel.pager_object, FsPager)
+
+    # ------------------------------------------------------- per-file state
+    def _state_for(self, under_file: File) -> Any:
+        state = self._states.get(under_file.source_key)
+        if state is None:
+            state = self.state_class(self, under_file)
+            self._states[state.under_key] = state
+            self._states_by_source[state.source_key] = state
+        return state
+
+    def state_by_source(self, source_key: Hashable) -> Any:
+        state = self._states_by_source.get(source_key)
+        if state is None:
+            raise FsError(f"no file state for {source_key!r}")
+        return state
+
+    def purge_named(self, under_context, name: str) -> None:
+        """Drop per-file state before an unlink; the freed i-node may be
+        reused and stale cached state must not leak into the new file."""
+        try:
+            obj = under_context.resolve(name)
+        except Exception:
+            return
+        under_file = narrow(obj, File)
+        if under_file is not None:
+            self._purge_state(under_file.source_key)
+
+    def _purge_state(self, under_key: Hashable) -> None:
+        state = self._states.pop(under_key, None)
+        if state is None:
+            return
+        self._states_by_source.pop(state.source_key, None)
+        state.purge()
+
+    # ------------------------------------------------------- data movement
+    def push_recovered(self, state: Any, recovered: Dict[int, bytes]) -> None:
+        """Push dirty pages recalled from upstream holders to the layer
+        below, coalescing contiguous runs into single ranged calls."""
+        if not recovered:
+            return
+        self.ensure_down(state)
+        run: list = []  # contiguous (index, data) run, pushed as one call
+        for index, data in sorted(recovered.items()):
+            if run and index != run[-1][0] + 1:
+                self._push_run(state, run)
+            run.append((index, data))
+        self._push_run(state, run)
+
+    def _push_run(self, state: Any, run: list) -> None:
+        if not run:
+            return
+        if len(run) == 1:
+            index, chunk = run[0]
+            state.down_channel.pager_object.page_out(
+                index * PAGE_SIZE, PAGE_SIZE, chunk
+            )
+        else:
+            data = b"".join(chunk for _, chunk in run)
+            state.down_channel.pager_object.page_out_range(
+                run[0][0] * PAGE_SIZE, len(data), data
+            )
+        run.clear()
+
+    def invalidate_upstream_attrs(
+        self, state: Any, exclude: Optional[Channel] = None
+    ) -> None:
+        """Tell every upstream attribute cache to drop its copy."""
+        with self.fanout_region():
+            for channel in self.channels.channels_for(state.source_key):
+                if channel is exclude:
+                    continue
+                fs_cache = narrow(channel.cache_object, FsCache)
+                if fs_cache is not None:
+                    fs_cache.invalidate_attributes()
+
+    # ------------------------------------------------------------ naming face
+    def wrap_resolved(self, obj: object, charge_open: bool = True) -> object:
+        """Wrap an object resolved below in this layer's handle types.
+        ``charge_open`` pays the open-protocol costs (access check +
+        attribute fetch); listing entries skips them."""
+        under_file = narrow(obj, File)
+        if under_file is not None:
+            attrs = None
+            if charge_open:
+                under_file.check_access(AccessRights.READ_ONLY)
+                attrs = under_file.get_attributes()
+            state = self._state_for(under_file)
+            self._on_open(state, attrs)
+            if charge_open:
+                return self.file_class(self, state)
+            handle = object.__new__(self.file_class)
+            File.__init__(handle, self.domain)
+            handle.layer = self
+            handle.state = state
+            handle.source_key = state.source_key
+            return handle
+        under_context = narrow(obj, NamingContext)
+        if under_context is not None:
+            return self.directory_class(self, under_context)
+        return obj
+
+    def _on_open(self, state: Any, attrs: Optional[FileAttributes]) -> None:
+        """Hook: a handle is being created; ``attrs`` carries the
+        open-time attribute fetch when one was paid for."""
+
+    @operation
+    def resolve(self, name: str) -> object:
+        return self.wrap_resolved(self.under.resolve(name))
+
+    @operation
+    def bind(self, name: str, obj: object) -> None:
+        self.under.bind(name, obj)
+
+    @operation
+    def unbind(self, name: str) -> object:
+        self.purge_named(self.under, name)
+        return self.under.unbind(name)
+
+    @operation
+    def rebind(self, name: str, obj: object) -> object:
+        return self.under.rebind(name, obj)
+
+    @operation
+    def list_bindings(self):
+        return [
+            (name, self.wrap_resolved(obj, charge_open=False))
+            for name, obj in self.under.list_bindings()
+        ]
+
+    @operation
+    def create_file(self, name: str) -> File:
+        return self.wrap_resolved(self.under.create_file(name))
+
+    @operation
+    def create_dir(self, name: str) -> NamingContext:
+        return self.directory_class(self, self.under.create_dir(name))
+
+    @operation
+    def rename(self, old_name: str, new_name: str) -> None:
+        self.under.rename(old_name, new_name)
+
+    # ------------------------------------------------------------ file hooks
+    # Defaults forward to the underlying file; transform layers override.
+    def file_length(self, state: Any) -> int:
+        return state.under_file.get_length()
+
+    def file_set_length(self, state: Any, length: int) -> None:
+        state.under_file.set_length(length)
+
+    def file_read(self, state: Any, offset: int, size: int) -> bytes:
+        return state.under_file.read(offset, size)
+
+    def file_write(self, state: Any, offset: int, data: bytes) -> int:
+        return state.under_file.write(offset, data)
+
+    def file_get_attributes(self, state: Any) -> FileAttributes:
+        self.world.charge.fs_attr_copy()
+        return state.under_file.get_attributes()
+
+    def file_check_access(self, state: Any, access: AccessRights) -> None:
+        self.world.charge.fs_access_check()
+
+    def file_sync(self, state: Any) -> None:
+        state.under_file.sync()
 
     # ------------------------------------------------------------ fs interface
     @operation
@@ -298,83 +1122,3 @@ class BaseLayer(StackableFs, CacheManager, abc.ABC):
 
     def _sync_impl(self) -> None:
         """Hook: flush this layer's own caches."""
-
-    # ------------------------------------------- pager hooks (override)
-    def _pager_page_in(
-        self, source_key, pager_object, offset: int, size: int, access: AccessRights
-    ) -> bytes:
-        raise NotImplementedError(f"{self.fs_type()} does not serve pages")
-
-    def _pager_page_in_range(
-        self,
-        source_key,
-        pager_object,
-        offset: int,
-        min_size: int,
-        max_size: int,
-        access: AccessRights,
-    ) -> bytes:
-        """Default: no clustering — serve exactly the minimum."""
-        return self._pager_page_in(source_key, pager_object, offset, min_size, access)
-
-    def _pager_page_out(
-        self, source_key, pager_object, offset: int, size: int, data: bytes, retain
-    ) -> None:
-        raise NotImplementedError(f"{self.fs_type()} does not accept pages")
-
-    def _pager_page_out_range(
-        self, source_key, pager_object, offset: int, size: int, data: bytes, retain
-    ) -> None:
-        """Vectored write-back: a contiguous multi-page run arrives in one
-        invocation.  The ``_pager_page_out`` hooks all accept arbitrary
-        sizes already, so the default forwards the whole run in one call;
-        layers with a cheaper vectored path below (the disk layer's
-        clustered device writes, DFS's ranged forwarding) override this.
-        """
-        self._pager_page_out(source_key, pager_object, offset, size, data, retain)
-
-    def _pager_done(self, source_key, pager_object) -> None:
-        for channel in self.channels.channels_for(source_key):
-            if channel.pager_object is pager_object:
-                channel.closed = True
-                self.channels.forget(channel)
-                self._on_channel_closed(source_key, channel)
-
-    def _on_channel_closed(self, source_key, channel: Channel) -> None:
-        """Hook: an upstream channel went away."""
-
-    def _pager_attr_page_in(self, source_key, pager_object) -> FileAttributes:
-        raise NotImplementedError(f"{self.fs_type()} does not serve attributes")
-
-    def _pager_attr_write_out(self, source_key, pager_object, attrs) -> None:
-        raise NotImplementedError(f"{self.fs_type()} does not accept attributes")
-
-    # ------------------------------------------- cache hooks (override)
-    def _cache_flush_back(self, state, offset: int, size: int) -> Dict[int, bytes]:
-        raise NotImplementedError
-
-    def _cache_deny_writes(self, state, offset: int, size: int) -> Dict[int, bytes]:
-        raise NotImplementedError
-
-    def _cache_write_back(self, state, offset: int, size: int) -> Dict[int, bytes]:
-        raise NotImplementedError
-
-    def _cache_delete_range(self, state, offset: int, size: int) -> None:
-        raise NotImplementedError
-
-    def _cache_zero_fill(self, state, offset: int, size: int) -> None:
-        raise NotImplementedError
-
-    def _cache_populate(
-        self, state, offset: int, size: int, access: AccessRights, data: bytes
-    ) -> None:
-        raise NotImplementedError
-
-    def _cache_destroy(self, state) -> None:
-        raise NotImplementedError
-
-    def _cache_invalidate_attributes(self, state) -> None:
-        raise NotImplementedError
-
-    def _cache_write_back_attributes(self, state) -> Optional[FileAttributes]:
-        return None

@@ -24,52 +24,57 @@ Mechanisms reproduced:
 
 CFS is optional (the paper's last note): without it, every file
 operation goes to the remote DFS.
+
+CFS keeps no holder table of its own (``holders`` is None — the local
+VMM's channel goes straight to the remote DFS), so the spine's
+cache-side defaults already return nothing for data ops; its only
+:class:`ChannelOps` overrides are the attribute-cache ones.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Optional
+from typing import Optional
 
 from repro.errors import FsError
 from repro.ipc.invocation import operation
 from repro.ipc.narrow import narrow
 from repro.naming.context import NamingContext
 from repro.types import PAGE_SIZE, AccessRights
-from repro.vm.channel import BindResult, Channel
+from repro.vm.channel import BindResult
 from repro.vm.memory_object import CacheManager
-from repro.vm.pager_object import FsPager
 
 from repro.fs.attributes import CachedAttributes, FileAttributes
-from repro.fs.base import BaseLayer
+from repro.fs.base import (
+    BaseLayer,
+    ChannelOps,
+    LayerDirectory,
+    LayerFile,
+    LayerFileState,
+)
 from repro.fs.file import File
 
 
-class CfsFileState:
+class CfsFileState(LayerFileState):
     """Per-interposed-file state on the client."""
 
     def __init__(self, layer: "CfsLayer", remote_file: File) -> None:
-        self.layer = layer
-        self.remote_file = remote_file
-        self.remote_key = remote_file.source_key
-        self.source_key: Hashable = ("cfs", layer.oid, self.remote_key)
+        super().__init__(layer, remote_file)
         self.attrs: Optional[CachedAttributes] = None
-        #: CFS as cache manager for the remote file (attribute channel).
-        self.down_channel: Optional[Channel] = None
-        self.down_pager: Optional[FsPager] = None
         #: Local mapping used to serve read/write through the local VMM.
         self.mapping = None
         self.mapping_length = 0
 
+    @property
+    def remote_file(self) -> File:
+        return self.under_file
 
-class CfsFile(File):
+    @property
+    def remote_key(self):
+        return self.under_key
+
+
+class CfsFile(LayerFile):
     """The locally implemented stand-in for a remote file."""
-
-    def __init__(self, layer: "CfsLayer", state: CfsFileState) -> None:
-        super().__init__(layer.domain)
-        self.layer = layer
-        self.state = state
-        self.source_key = state.source_key
-        layer.world.charge.fs_open_state()
 
     @operation
     def bind(
@@ -86,77 +91,57 @@ class CfsFile(File):
             cache_manager, requested_access, offset, length
         )
 
-    @operation
-    def get_length(self) -> int:
-        return self.layer.cached_attrs(self.state).size
 
-    @operation
-    def set_length(self, length: int) -> None:
-        self.layer.file_set_length(self.state, length)
-
-    @operation
-    def read(self, offset: int, size: int) -> bytes:
-        return self.layer.file_read(self.state, offset, size)
-
-    @operation
-    def write(self, offset: int, data: bytes) -> int:
-        return self.layer.file_write(self.state, offset, data)
-
-    @operation
-    def get_attributes(self) -> FileAttributes:
-        self.layer.world.charge.fs_attr_copy()
-        return self.layer.cached_attrs(self.state).copy()
-
-    @operation
-    def check_access(self, access: AccessRights) -> None:
-        self.layer.world.charge.fs_access_check()
-
-    @operation
-    def sync(self) -> None:
-        self.layer.file_sync(self.state)
-
-
-class CfsContext(NamingContext):
+class CfsContext(LayerDirectory):
     """Wraps a remote context so resolved files come back interposed."""
 
-    def __init__(self, layer: "CfsLayer", remote_context: NamingContext) -> None:
-        super().__init__(layer.domain)
-        self.layer = layer
-        self.remote_context = remote_context
-
-    @operation
-    def resolve(self, name: str) -> object:
-        return self.layer.wrap_resolved(self.remote_context.resolve(name))
-
-    @operation
-    def bind(self, name: str, obj: object) -> None:
-        self.remote_context.bind(name, obj)
+    @property
+    def remote_context(self) -> NamingContext:
+        return self.under_context
 
     @operation
     def unbind(self, name: str) -> object:
-        return self.remote_context.unbind(name)
-
-    @operation
-    def rebind(self, name: str, obj: object) -> object:
-        return self.remote_context.rebind(name, obj)
+        # No purge: interposed state belongs to the remote file, and the
+        # remote side handles its own unlink hygiene.
+        return self.under_context.unbind(name)
 
     @operation
     def list_bindings(self):
-        return self.remote_context.list_bindings()
+        return self.under_context.list_bindings()
 
-    @operation
-    def create_file(self, name: str) -> File:
-        return self.layer.wrap_resolved(self.remote_context.create_file(name))
+
+class CfsOps(ChannelOps):
+    """CFS caches attributes only; data lives in the local VMM (which has
+    its own channel to the remote DFS).  With no holder table, the
+    spine's data-op defaults already collect nothing — only the
+    attribute ops need real behaviour."""
+
+    def destroy_cache(self, state) -> None:
+        state.attrs = None
+        state.down_channel = None
+        state.down_pager = None
+
+    def invalidate_attributes(self, state) -> None:
+        self.layer.world.counters.inc("cfs.attr_invalidated")
+        state.attrs = None
+
+    def write_back_attributes(self, state) -> Optional[FileAttributes]:
+        if state.attrs is not None and state.attrs.dirty:
+            return state.attrs.attrs.copy()
+        return None
 
 
 class CfsLayer(BaseLayer):
     """The per-node CFS server."""
 
     max_under = 0
+    ops_class = CfsOps
+    state_class = CfsFileState
+    file_class = CfsFile
+    directory_class = CfsContext
 
     def __init__(self, domain, readahead_pages: int = 0) -> None:
         super().__init__(domain)
-        self._states: Dict[Hashable, CfsFileState] = {}
         #: Sequential read-ahead window for the mappings CFS reads and
         #: writes through.  Applied per-cache (VmCache.readahead_override)
         #: rather than via the node-wide VMM knob, so only CFS traffic is
@@ -167,14 +152,16 @@ class CfsLayer(BaseLayer):
     def fs_type(self) -> str:
         return "cfs"
 
+    def _make_holders(self):
+        return None  # no upstream coherency state; binds are forwarded
+
     # ------------------------------------------------------------ interposition
     @operation
     def interpose(self, remote_file: File) -> CfsFile:
         """Interpose on one remote file, returning the local stand-in."""
         state = self._states.get(remote_file.source_key)
         if state is None:
-            state = CfsFileState(self, remote_file)
-            self._states[state.remote_key] = state
+            state = self._state_for(remote_file)
             # Become a cache manager for the remote file right away.
             state.down_channel = self.bind_below(
                 state, remote_file, AccessRights.READ_ONLY
@@ -257,6 +244,13 @@ class CfsLayer(BaseLayer):
         state.attrs.touch_mtime(int(self.world.clock.now_us))
         return len(data)
 
+    def file_length(self, state: CfsFileState) -> int:
+        return self.cached_attrs(state).size
+
+    def file_get_attributes(self, state: CfsFileState) -> FileAttributes:
+        self.world.charge.fs_attr_copy()
+        return self.cached_attrs(state).copy()
+
     def file_set_length(self, state: CfsFileState, length: int) -> None:
         state.remote_file.set_length(length)
         if state.attrs is not None:
@@ -296,42 +290,6 @@ class CfsLayer(BaseLayer):
     @operation
     def list_bindings(self):
         return []
-
-    # ------------------------------------------------- cache hooks (from DFS)
-    # CFS caches attributes only; data lives in the local VMM (which has
-    # its own channel to the remote DFS).  So data-coherency actions have
-    # nothing to collect here, and attribute invalidations drop the cache.
-    def _cache_flush_back(self, state, offset: int, size: int) -> Dict[int, bytes]:
-        return {}
-
-    def _cache_deny_writes(self, state, offset: int, size: int) -> Dict[int, bytes]:
-        return {}
-
-    def _cache_write_back(self, state, offset: int, size: int) -> Dict[int, bytes]:
-        return {}
-
-    def _cache_delete_range(self, state, offset: int, size: int) -> None:
-        pass
-
-    def _cache_zero_fill(self, state, offset: int, size: int) -> None:
-        pass
-
-    def _cache_populate(self, state, offset, size, access, data) -> None:
-        pass
-
-    def _cache_destroy(self, state) -> None:
-        state.attrs = None
-        state.down_channel = None
-        state.down_pager = None
-
-    def _cache_invalidate_attributes(self, state) -> None:
-        self.world.counters.inc("cfs.attr_invalidated")
-        state.attrs = None
-
-    def _cache_write_back_attributes(self, state) -> Optional[FileAttributes]:
-        if state.attrs is not None and state.attrs.dirty:
-            return state.attrs.attrs.copy()
-        return None
 
 
 def start_cfs(node, readahead_pages: int = 0) -> CfsLayer:

@@ -22,158 +22,241 @@ Stacking an instance of this layer over any non-coherent layer yields a
 coherent stack (sec. 6.3); Spring SFS is exactly coherency-over-disk
 (Figure 10).  Construct with ``cache=False`` to disable data+attribute
 caching — the "Cached by Coherency Layer? No" rows of Table 2.
+
+In spine terms (:mod:`repro.fs.base`): this layer IS the recall policy,
+so :class:`CoherencyOps` overrides nearly the whole dispatch table —
+what it inherits from the runtime is the state registry, the naming
+face, the bind plumbing, and the fan-out helpers.
 """
 
 from __future__ import annotations
 
-import contextlib
-from typing import Dict, Hashable, List, Optional
+from typing import Dict, Hashable, Optional
 
 from repro.errors import FsError, StaleFileError
-from repro.ipc.compound import compound_region
-from repro.ipc.invocation import operation
 from repro.ipc.narrow import narrow
-from repro.naming.context import NamingContext
 from repro.types import PAGE_SIZE, AccessRights, page_range
-from repro.vm.channel import BindResult, Channel
 from repro.vm.cache_object import FsCache
-from repro.vm.memory_object import CacheManager
+from repro.vm.channel import Channel
 from repro.vm.page import CachedPage, PageStore, index_runs
-from repro.vm.pager_object import FsPager
 from repro.vm.readahead import StreamTable
 
 from repro.fs.attributes import CachedAttributes, FileAttributes
-from repro.fs.base import BaseLayer
+from repro.fs.base import (
+    BaseLayer,
+    ChannelOps,
+    LayerDirectory,
+    LayerFile,
+    LayerFileState,
+)
 from repro.fs.file import File
-from repro.fs.holders import BlockHolderTable, make_holder_table
 
 
-class CoherentFileState:
+class CoherentFileState(LayerFileState):
     """Per-file state the coherency layer maintains (one per underlying
     file, shared by every open handle and every upstream channel)."""
 
     def __init__(self, layer: "CoherencyLayer", under_file: File) -> None:
-        self.layer = layer
-        self.under_file = under_file
-        self.under_key = under_file.source_key
-        self.source_key: Hashable = ("coh", layer.oid, self.under_key)
+        super().__init__(layer, under_file)
         self.store = PageStore()
         self.attrs: Optional[CachedAttributes] = None
-        self.holders = make_holder_table(layer.protocol)
-        self.down_channel: Optional[Channel] = None
-        self.down_pager: Optional[FsPager] = None
         self.destroyed = False
         self.streams = StreamTable()
 
+    def purge(self) -> None:
+        super().purge()
+        self.store.clear()
+        self.attrs = None
+        self.destroyed = True
 
-class CoherentFile(File):
+
+class CoherentFile(LayerFile):
     """An open handle to a file exported by the coherency layer."""
 
-    def __init__(self, layer: "CoherencyLayer", state: CoherentFileState) -> None:
-        super().__init__(layer.domain)
-        self.layer = layer
-        self.state = state
-        self.source_key = state.source_key
-        layer.world.charge.fs_open_state()
 
-    # --- memory_object -------------------------------------------------------
-    @operation
-    def bind(
-        self,
-        cache_manager: CacheManager,
-        requested_access: AccessRights,
-        offset: int,
-        length: int,
-    ) -> BindResult:
-        return self.layer.bind_source(
-            self.source_key,
-            cache_manager,
-            requested_access,
-            offset,
-            label=f"coh:{self.state.under_key}",
-        )
-
-    @operation
-    def get_length(self) -> int:
-        return self.layer.file_length(self.state)
-
-    @operation
-    def set_length(self, length: int) -> None:
-        self.layer.file_set_length(self.state, length)
-
-    # --- file -----------------------------------------------------------------
-    @operation
-    def read(self, offset: int, size: int) -> bytes:
-        return self.layer.file_read(self.state, offset, size)
-
-    @operation
-    def write(self, offset: int, data: bytes) -> int:
-        return self.layer.file_write(self.state, offset, data)
-
-    @operation
-    def get_attributes(self) -> FileAttributes:
-        return self.layer.file_get_attributes(self.state)
-
-    @operation
-    def check_access(self, access: AccessRights) -> None:
-        self.layer.world.charge.fs_access_check()
-        if self.state.destroyed:
-            raise StaleFileError("file state destroyed under open handle")
-
-    @operation
-    def sync(self) -> None:
-        self.layer.file_sync(self.state)
-
-
-class CoherentDirectory(NamingContext):
+class CoherentDirectory(LayerDirectory):
     """Wraps an underlying directory context, exporting coherent files."""
 
-    def __init__(self, layer: "CoherencyLayer", under_context: NamingContext) -> None:
-        super().__init__(layer.domain)
-        self.layer = layer
-        self.under_context = under_context
 
-    @operation
-    def resolve(self, name: str) -> object:
-        return self.layer.wrap_resolved(self.under_context.resolve(name))
+class CoherencyOps(ChannelOps):
+    """The coherency layer's dispatch table: every op first recalls the
+    affected blocks from the *other* upstream holders (MRSW), then
+    serves from / installs into the layer's page cache."""
 
-    @operation
-    def bind(self, name: str, obj: object) -> None:
-        self.under_context.bind(name, obj)
+    def requester(self, source_key, pager_object) -> Channel:
+        """Unlike the pass-through, a request from a pager object with no
+        live channel is a protocol violation here — the holder table
+        would silently miscount."""
+        channel = super().requester(source_key, pager_object)
+        if channel is None:
+            raise FsError("pager object does not belong to a live channel")
+        return channel
 
-    @operation
-    def unbind(self, name: str) -> object:
-        self.layer.purge_named(self.under_context, name)
-        return self.under_context.unbind(name)
+    def merge_recovered(self, state, recovered: Dict[int, bytes]) -> None:
+        self.layer._merge_recovered(state, recovered)
 
-    @operation
-    def rebind(self, name: str, obj: object) -> object:
-        return self.under_context.rebind(name, obj)
+    # ----------------------------------------------------------- pager side
+    def page_in(self, source_key, pager_object, offset, size, access) -> bytes:
+        layer = self.layer
+        state = self.state(source_key)
+        requester = self.requester(source_key, pager_object)
+        with self.region():
+            recovered = state.holders.acquire(requester, offset, size, access)
+        self.merge_recovered(state, recovered)
+        if layer.cache_enabled:
+            return state.store.read(offset, size, layer._fault_below(state, access))
+        return layer._read_through(state, offset, size, recovered)
 
-    @operation
-    def list_bindings(self):
-        return [
-            (name, self.layer.wrap_resolved(obj, charge_open=False))
-            for name, obj in self.under_context.list_bindings()
-        ]
+    def page_in_range(
+        self, source_key, pager_object, offset, min_size, max_size, access
+    ) -> bytes:
+        """Serve a ranged page-in from the cache (clamped to the file),
+        so an upstream reader with read-ahead enabled gets its window in
+        one call — and this layer prefetches below with clustering."""
+        layer = self.layer
+        state = self.state(source_key)
+        if layer.cache_enabled:
+            size = min(max_size, max(min_size, layer.file_length(state) - offset))
+            size = max(size, 0)
+            if size == 0:
+                return b""
+            requester = self.requester(source_key, pager_object)
+            with self.region():
+                recovered = state.holders.acquire(requester, offset, size, access)
+            self.merge_recovered(state, recovered)
+            # The upstream explicitly asked for this window, so fetching
+            # the missing pages below in clustered runs is demanded data,
+            # not speculation — no knob gates it.  This is what lets a
+            # read-ahead hint issued above a stacked layer survive all
+            # the way to the disk layer's clustering.
+            layer._prefetch_missing(state, offset, size, access)
+            return state.store.read(offset, size, layer._fault_below(state, access))
+        # Not caching: still forward the window so clustering below
+        # survives this layer instead of collapsing to the minimum.
+        size = min(max_size, max(min_size, state.under_file.get_length() - offset))
+        size = max(size, 0)
+        if size == 0:
+            return b""
+        requester = self.requester(source_key, pager_object)
+        with self.region():
+            recovered = state.holders.acquire(requester, offset, size, access)
+        self.merge_recovered(state, recovered)  # pushed straight down
+        return self.down(state).page_in_range(offset, min_size, size, access)
 
-    @operation
-    def create_file(self, name: str) -> File:
-        return self.layer.wrap_resolved(self.under_context.create_file(name))
+    def page_out(self, source_key, pager_object, offset, size, data, retain) -> None:
+        state = self.state(source_key)
+        requester = self.requester(source_key, pager_object)
+        if retain is None:
+            state.holders.forget_range(requester, offset, size)
+        elif retain is AccessRights.READ_ONLY:
+            state.holders.record(requester, offset, size, AccessRights.READ_ONLY)
+        else:
+            # sync: the client retains the data read-write — it IS a
+            # writer of these blocks, so register it (flushing any other
+            # holder first; the incoming data supersedes what they held).
+            recovered = state.holders.acquire(
+                requester, offset, size, AccessRights.READ_WRITE
+            )
+            self.merge_recovered(state, recovered)
+        pages = {
+            index: data[i * PAGE_SIZE : (i + 1) * PAGE_SIZE]
+            for i, index in enumerate(page_range(offset, size))
+        }
+        self.merge_recovered(state, pages)
 
-    @operation
-    def create_dir(self, name: str) -> "CoherentDirectory":
-        return CoherentDirectory(self.layer, self.under_context.create_dir(name))
+    def attr_page_in(self, source_key, pager_object) -> FileAttributes:
+        return self.layer._current_attrs(self.state(source_key)).copy()
 
-    @operation
-    def rename(self, old_name: str, new_name: str) -> None:
-        self.under_context.rename(old_name, new_name)
+    def attr_write_out(self, source_key, pager_object, attrs) -> None:
+        layer = self.layer
+        state = self.state(source_key)
+        if layer.cache_enabled:
+            state.attrs = CachedAttributes(attrs.copy(), dirty=True)
+            requester = self.requester(source_key, pager_object)
+            layer.invalidate_upstream_attrs(state, exclude=requester)
+        else:
+            layer.ensure_down(state)
+            if state.down_pager is not None:
+                state.down_pager.attr_write_out(attrs)
+
+    # ----------------------------------------------------------- cache side
+    # The lower pager acts on our cache of ITS file; we must first recall
+    # the affected blocks from our own upstream holders (recursive
+    # coherency, the P3-C3 arrow of Figure 6 composed with P1-C1).
+    def flush_back(self, state, offset, size) -> Dict[int, bytes]:
+        with self.region():
+            recovered = state.holders.acquire(
+                None, offset, size, AccessRights.READ_WRITE
+            )
+        for index, data in recovered.items():
+            state.store.install(index, data, AccessRights.READ_WRITE, dirty=True)
+        modified = state.store.collect_modified(offset, size)
+        state.store.drop_range(offset, size)
+        return modified
+
+    def deny_writes(self, state, offset, size) -> Dict[int, bytes]:
+        with self.region():
+            recovered = state.holders.acquire(
+                None, offset, size, AccessRights.READ_ONLY
+            )
+        for index, data in recovered.items():
+            state.store.install(index, data, AccessRights.READ_WRITE, dirty=True)
+        modified = state.store.collect_modified(offset, size)
+        state.store.downgrade_range(offset, size)
+        state.store.clean_range(offset, size)
+        return modified
+
+    def write_back(self, state, offset, size) -> Dict[int, bytes]:
+        with self.region():
+            recovered = state.holders.collect_latest(offset, size)
+        for index, data in recovered.items():
+            state.store.install(index, data, AccessRights.READ_WRITE, dirty=True)
+        modified = state.store.collect_modified(offset, size)
+        state.store.clean_range(offset, size)
+        return modified
+
+    def delete_range(self, state, offset, size) -> None:
+        with self.region():
+            state.holders.invalidate(offset, size)
+        state.store.drop_range(offset, size)
+
+    def zero_fill(self, state, offset, size) -> None:
+        with self.region():
+            state.holders.invalidate(offset, size)
+        state.store.zero_range(offset, size)
+
+    def populate(self, state, offset, size, access, data) -> None:
+        for i, index in enumerate(page_range(offset, size)):
+            state.store.install(
+                index, data[i * PAGE_SIZE : (i + 1) * PAGE_SIZE], access
+            )
+
+    def destroy_cache(self, state) -> None:
+        state.store.clear()
+        state.attrs = None
+        state.destroyed = True
+
+    def invalidate_attributes(self, state) -> None:
+        state.attrs = None
+        self.layer.invalidate_upstream_attrs(state)
+
+    def write_back_attributes(self, state) -> Optional[FileAttributes]:
+        if state.attrs is not None and state.attrs.dirty:
+            # The pager below now owns the latest attributes; our copy is
+            # clean (mirrors write_back's dirty-clearing for data).
+            state.attrs.dirty = False
+            return state.attrs.attrs.copy()
+        return None
 
 
 class CoherencyLayer(BaseLayer):
     """See module docstring."""
 
     max_under = 1
+    ops_class = CoherencyOps
+    state_class = CoherentFileState
+    file_class = CoherentFile
+    directory_class = CoherentDirectory
 
     def __init__(
         self,
@@ -186,143 +269,28 @@ class CoherencyLayer(BaseLayer):
     ) -> None:
         super().__init__(domain)
         self.cache_enabled = cache
-        #: Batch the per-holder coherency control messages (recalls,
-        #: write-denials, attribute invalidations) of one coherency
-        #: action into a single round trip per remote node.  Off by
-        #: default — Table 2/3 calibration charges per message.
         self.compound = compound
-        #: Sequential read-ahead window toward the layer below (sec. 8
-        #: extension); 0 = off.
         self.readahead_pages = readahead_pages
-        #: Push contiguous dirty runs below as single ranged syncs
-        #: instead of one call per page.  Off by default, like
-        #: readahead_pages — Table 2/3 calibration assumes per-page
-        #: write-back.
         self.batch_pageout = batch_pageout
         #: Coherency policy: "per_block" (the paper's production choice)
         #: or "whole_file" (coarse single-owner) — the protocol is not
         #: dictated by the architecture (sec. 3.3.3).
         self.protocol = protocol
-        self._states: Dict[Hashable, CoherentFileState] = {}
-        self._states_by_source: Dict[Hashable, CoherentFileState] = {}
 
     def fs_type(self) -> str:
         return "coherency"
 
-    def _fanout_region(self):
-        """A compound region around a holder/attribute fan-out when
-        batching is on, else a no-op context."""
-        if self.compound:
-            return compound_region(self.world)
-        return contextlib.nullcontext()
+    def source_tag(self) -> str:
+        return "coh"
 
-    # ------------------------------------------------------------ naming face
-    @operation
-    def resolve(self, name: str) -> object:
-        return self.wrap_resolved(self.under.resolve(name))
-
-    @operation
-    def bind(self, name: str, obj: object) -> None:
-        self.under.bind(name, obj)
-
-    @operation
-    def unbind(self, name: str) -> object:
-        self.purge_named(self.under, name)
-        return self.under.unbind(name)
-
-    @operation
-    def rebind(self, name: str, obj: object) -> object:
-        return self.under.rebind(name, obj)
-
-    @operation
-    def list_bindings(self):
-        return [
-            (name, self.wrap_resolved(obj, charge_open=False))
-            for name, obj in self.under.list_bindings()
-        ]
-
-    @operation
-    def create_file(self, name: str) -> File:
-        return self.wrap_resolved(self.under.create_file(name))
-
-    # ------------------------------------------------------ unlink hygiene
-    def purge_named(self, under_context, name: str) -> None:
-        """Drop this layer's per-file state before an unlink: the lower
-        layer may reuse the freed i-node for a new file, and stale cached
-        attributes/pages must not be resurrected for it."""
-        try:
-            obj = under_context.resolve(name)
-        except Exception:
-            return
-        under_file = narrow(obj, File)
-        if under_file is not None:
-            self._purge_state(under_file.source_key)
-
-    def _purge_state(self, under_key: Hashable) -> None:
-        state = self._states.pop(under_key, None)
-        if state is None:
-            return
-        self._states_by_source.pop(state.source_key, None)
-        state.holders.invalidate(0, 2**62)
-        state.store.clear()
-        state.attrs = None
-        state.destroyed = True
-        if state.down_channel is not None and not state.down_channel.closed:
-            state.down_channel.close()
-
-    @operation
-    def create_dir(self, name: str) -> CoherentDirectory:
-        return CoherentDirectory(self, self.under.create_dir(name))
-
-    @operation
-    def rename(self, old_name: str, new_name: str) -> None:
-        self.under.rename(old_name, new_name)
-
-    def wrap_resolved(self, obj: object, charge_open: bool = True) -> object:
-        """Wrap whatever the lower layer resolved: files get coherent
-        handles (the open path), directories get wrapping contexts."""
-        under_file = narrow(obj, File)
-        if under_file is not None:
-            if charge_open:
-                under_file.check_access(AccessRights.READ_ONLY)
-                attrs = under_file.get_attributes()
-            else:
-                attrs = None
-            state = self._state_for(under_file)
-            if self.cache_enabled and state.attrs is None and attrs is not None:
-                state.attrs = CachedAttributes(attrs.copy())
-            if charge_open:
-                return CoherentFile(self, state)
-            handle = object.__new__(CoherentFile)
-            File.__init__(handle, self.domain)
-            handle.layer = self
-            handle.state = state
-            handle.source_key = state.source_key
-            return handle
-        under_context = narrow(obj, NamingContext)
-        if under_context is not None:
-            return CoherentDirectory(self, under_context)
-        return obj
-
-    def _state_for(self, under_file: File) -> CoherentFileState:
-        state = self._states.get(under_file.source_key)
-        if state is None:
-            state = CoherentFileState(self, under_file)
-            self._states[state.under_key] = state
-            self._states_by_source[state.source_key] = state
-        return state
+    def _on_open(
+        self, state: CoherentFileState, attrs: Optional[FileAttributes]
+    ) -> None:
+        # Seed the attribute cache from the open-time fetch.
+        if self.cache_enabled and state.attrs is None and attrs is not None:
+            state.attrs = CachedAttributes(attrs.copy())
 
     # ------------------------------------------------------ downstream access
-    def _ensure_down(self, state: CoherentFileState) -> None:
-        """Establish (once) the downstream channel: the layer acting as a
-        cache manager for the underlying file (paper sec. 4.2)."""
-        if state.down_channel is None or state.down_channel.closed:
-            channel = self.bind_below(
-                state, state.under_file, AccessRights.READ_WRITE
-            )
-            state.down_channel = channel
-            state.down_pager = self.down_fs_pager(channel)
-
     def _fault_below(self, state: CoherentFileState, access: AccessRights):
         """Fault callback for ``state.store``: page in from the lower
         layer through the downstream channel.  With ``readahead_pages``
@@ -331,7 +299,7 @@ class CoherencyLayer(BaseLayer):
 
         def fault(index: int, needed: AccessRights) -> CachedPage:
             effective = access if access.writable else needed
-            self._ensure_down(state)
+            self.ensure_down(state)
             window = self.readahead_pages
             sequential = state.streams.observe(index)
             if window > 0 and sequential:
@@ -374,10 +342,40 @@ class CoherencyLayer(BaseLayer):
                     index, data, AccessRights.READ_WRITE, dirty=True
                 )
         else:
-            self._ensure_down(state)
+            self.ensure_down(state)
             for index, data in sorted(recovered.items()):
                 state.down_channel.pager_object.page_out(
                     index * PAGE_SIZE, PAGE_SIZE, data
+                )
+
+    def _prefetch_missing(
+        self,
+        state: CoherentFileState,
+        offset: int,
+        size: int,
+        access: AccessRights,
+    ) -> None:
+        """Fetch the missing pages of ``[offset, offset + size)`` from
+        below as ranged page-ins, one per contiguous missing run.
+        Single-page gaps are left to the normal fault path (identical
+        cost, and they keep feeding the sequential-stream detector)."""
+        effective = access if access.writable else AccessRights.READ_ONLY
+        missing = [i for i in page_range(offset, size) if i not in state.store]
+        for run_start, run_len in index_runs(missing):
+            if run_len < 2:
+                continue
+            self.ensure_down(state)
+            data = state.down_channel.pager_object.page_in_range(
+                run_start * PAGE_SIZE,
+                run_len * PAGE_SIZE,
+                run_len * PAGE_SIZE,
+                effective,
+            )
+            for i in range(run_len):
+                state.store.install(
+                    run_start + i,
+                    data[i * PAGE_SIZE : (i + 1) * PAGE_SIZE],
+                    effective,
                 )
 
     # ------------------------------------------------------------- attributes
@@ -386,7 +384,7 @@ class CoherencyLayer(BaseLayer):
         upstream file-system caches (narrowable to fs_cache) so this
         layer's view is current.  VMM channels are plain cache managers
         and are skipped — so this costs nothing in a plain SFS."""
-        with self._fanout_region():
+        with self.fanout_region():
             for channel in self.channels.channels_for(state.source_key):
                 fs_cache = narrow(channel.cache_object, FsCache)
                 if fs_cache is None:
@@ -396,7 +394,7 @@ class CoherencyLayer(BaseLayer):
                     if self.cache_enabled:
                         state.attrs = CachedAttributes(fetched, dirty=True)
                     else:
-                        self._ensure_down(state)
+                        self.ensure_down(state)
                         if state.down_pager is not None:
                             state.down_pager.attr_write_out(fetched)
 
@@ -404,7 +402,7 @@ class CoherencyLayer(BaseLayer):
         self._collect_latest_attrs(state)
         if self.cache_enabled:
             if state.attrs is None:
-                self._ensure_down(state)
+                self.ensure_down(state)
                 if state.down_pager is not None:
                     fetched = state.down_pager.attr_page_in()
                 else:
@@ -416,19 +414,6 @@ class CoherencyLayer(BaseLayer):
     def _now(self) -> int:
         return int(self.world.clock.now_us)
 
-    def _invalidate_upstream_attrs(
-        self, state: CoherentFileState, exclude: Optional[Channel] = None
-    ) -> None:
-        """Attribute-coherency fan-out: tell every upstream file-system
-        cache (narrowable to fs_cache) to drop its attribute copy."""
-        with self._fanout_region():
-            for channel in self.channels.channels_for(state.source_key):
-                if exclude is not None and channel is exclude:
-                    continue
-                fs_cache = narrow(channel.cache_object, FsCache)
-                if fs_cache is not None:
-                    fs_cache.invalidate_attributes()
-
     # --------------------------------------------------------------- file ops
     def file_read(self, state: CoherentFileState, offset: int, size: int) -> bytes:
         self.world.charge.fs_read_cpu()
@@ -436,7 +421,7 @@ class CoherencyLayer(BaseLayer):
         if offset >= attrs.size:
             return b""
         size = min(size, attrs.size - offset)
-        with self._fanout_region():
+        with self.fanout_region():
             recovered = state.holders.collect_latest(offset, size)
         self._merge_recovered(state, recovered)
         if self.cache_enabled:
@@ -456,7 +441,7 @@ class CoherencyLayer(BaseLayer):
         size: int,
         recovered: Dict[int, bytes],
     ) -> bytes:
-        self._ensure_down(state)
+        self.ensure_down(state)
         out = bytearray()
         position, remaining = offset, size
         while remaining > 0:
@@ -476,7 +461,7 @@ class CoherencyLayer(BaseLayer):
 
     def file_write(self, state: CoherentFileState, offset: int, data: bytes) -> int:
         self.world.charge.fs_write_cpu()
-        with self._fanout_region():
+        with self.fanout_region():
             recovered = state.holders.acquire(
                 None, offset, len(data), AccessRights.READ_WRITE
             )
@@ -489,7 +474,7 @@ class CoherencyLayer(BaseLayer):
             self._current_attrs(state)  # ensure attrs are cached
             state.attrs.grow(offset + len(data))
             state.attrs.touch_mtime(self._now())
-            self._invalidate_upstream_attrs(state)
+            self.invalidate_upstream_attrs(state)
         else:
             state.under_file.write(offset, data)
         return len(data)
@@ -501,10 +486,17 @@ class CoherencyLayer(BaseLayer):
     def file_length(self, state: CoherentFileState) -> int:
         return self._current_attrs(state).size
 
+    def file_check_access(
+        self, state: CoherentFileState, access: AccessRights
+    ) -> None:
+        self.world.charge.fs_access_check()
+        if state.destroyed:
+            raise StaleFileError("file state destroyed under open handle")
+
     def file_set_length(self, state: CoherentFileState, length: int) -> None:
         old = self._current_attrs(state).size
         if length < old:
-            with self._fanout_region():
+            with self.fanout_region():
                 if length % PAGE_SIZE:
                     # Recover the boundary page from any dirty holder before
                     # invalidating — its head (below the new length) survives.
@@ -518,7 +510,7 @@ class CoherencyLayer(BaseLayer):
         if self.cache_enabled:
             state.attrs.set_size(length)
             state.attrs.touch_mtime(self._now())
-            self._invalidate_upstream_attrs(state)
+            self.invalidate_upstream_attrs(state)
         state.under_file.set_length(length)
 
     def file_sync(self, state: CoherentFileState) -> None:
@@ -530,7 +522,7 @@ class CoherencyLayer(BaseLayer):
         ranged syncs, in the same ascending order."""
         if not self.cache_enabled:
             return
-        self._ensure_down(state)
+        self.ensure_down(state)
         if state.attrs is not None and state.attrs.dirty:
             if state.down_pager is not None:
                 state.down_pager.attr_write_out(state.attrs.attrs.copy())
@@ -554,212 +546,3 @@ class CoherencyLayer(BaseLayer):
         for state in self._states.values():
             if not state.destroyed:
                 self.file_sync(state)
-
-    # ------------------------------------------------ pager hooks (upstream)
-    def _state_by_source(self, source_key: Hashable) -> CoherentFileState:
-        state = self._states_by_source.get(source_key)
-        if state is None:
-            raise FsError(f"no file state for {source_key!r}")
-        return state
-
-    def _requester_channel(self, source_key, pager_object) -> Channel:
-        for channel in self.channels.channels_for(source_key):
-            if channel.pager_object is pager_object:
-                return channel
-        raise FsError("pager object does not belong to a live channel")
-
-    def _pager_page_in(
-        self, source_key, pager_object, offset: int, size: int, access: AccessRights
-    ) -> bytes:
-        state = self._state_by_source(source_key)
-        requester = self._requester_channel(source_key, pager_object)
-        with self._fanout_region():
-            recovered = state.holders.acquire(requester, offset, size, access)
-        self._merge_recovered(state, recovered)
-        if self.cache_enabled:
-            return state.store.read(offset, size, self._fault_below(state, access))
-        return self._read_through(state, offset, size, recovered)
-
-    def _pager_page_in_range(
-        self, source_key, pager_object, offset, min_size, max_size, access
-    ) -> bytes:
-        """Serve a ranged page-in from the cache (clamped to the file),
-        so an upstream reader with read-ahead enabled gets its window in
-        one call — and this layer prefetches below with clustering."""
-        state = self._state_by_source(source_key)
-        if self.cache_enabled:
-            size = min(max_size, max(min_size, self.file_length(state) - offset))
-            size = max(size, 0)
-            if size == 0:
-                return b""
-            requester = self._requester_channel(source_key, pager_object)
-            with self._fanout_region():
-                recovered = state.holders.acquire(requester, offset, size, access)
-            self._merge_recovered(state, recovered)
-            # The upstream explicitly asked for this window, so fetching
-            # the missing pages below in clustered runs is demanded data,
-            # not speculation — no knob gates it.  This is what lets a
-            # read-ahead hint issued above a stacked layer survive all
-            # the way to the disk layer's clustering.
-            self._prefetch_missing(state, offset, size, access)
-            return state.store.read(offset, size, self._fault_below(state, access))
-        # Not caching: still forward the window so clustering below
-        # survives this layer instead of collapsing to the minimum.
-        size = min(
-            max_size, max(min_size, state.under_file.get_length() - offset)
-        )
-        size = max(size, 0)
-        if size == 0:
-            return b""
-        requester = self._requester_channel(source_key, pager_object)
-        with self._fanout_region():
-            recovered = state.holders.acquire(requester, offset, size, access)
-        self._merge_recovered(state, recovered)  # pushed straight down
-        self._ensure_down(state)
-        return state.down_channel.pager_object.page_in_range(
-            offset, min_size, size, access
-        )
-
-    def _prefetch_missing(
-        self,
-        state: CoherentFileState,
-        offset: int,
-        size: int,
-        access: AccessRights,
-    ) -> None:
-        """Fetch the missing pages of ``[offset, offset + size)`` from
-        below as ranged page-ins, one per contiguous missing run.
-        Single-page gaps are left to the normal fault path (identical
-        cost, and they keep feeding the sequential-stream detector)."""
-        effective = access if access.writable else AccessRights.READ_ONLY
-        missing = [i for i in page_range(offset, size) if i not in state.store]
-        for run_start, run_len in index_runs(missing):
-            if run_len < 2:
-                continue
-            self._ensure_down(state)
-            data = state.down_channel.pager_object.page_in_range(
-                run_start * PAGE_SIZE,
-                run_len * PAGE_SIZE,
-                run_len * PAGE_SIZE,
-                effective,
-            )
-            for i in range(run_len):
-                state.store.install(
-                    run_start + i,
-                    data[i * PAGE_SIZE : (i + 1) * PAGE_SIZE],
-                    effective,
-                )
-
-    def _pager_page_out(
-        self, source_key, pager_object, offset: int, size: int, data: bytes, retain
-    ) -> None:
-        state = self._state_by_source(source_key)
-        requester = self._requester_channel(source_key, pager_object)
-        if retain is None:
-            state.holders.forget_range(requester, offset, size)
-        elif retain is AccessRights.READ_ONLY:
-            state.holders.record(requester, offset, size, AccessRights.READ_ONLY)
-        else:
-            # sync: the client retains the data read-write — it IS a
-            # writer of these blocks, so register it (flushing any other
-            # holder first; the incoming data supersedes what they held).
-            recovered = state.holders.acquire(
-                requester, offset, size, AccessRights.READ_WRITE
-            )
-            self._merge_recovered(state, recovered)
-        pages = {
-            index: data[i * PAGE_SIZE : (i + 1) * PAGE_SIZE]
-            for i, index in enumerate(page_range(offset, size))
-        }
-        self._merge_recovered(state, pages)
-
-    def _pager_attr_page_in(self, source_key, pager_object) -> FileAttributes:
-        state = self._state_by_source(source_key)
-        return self._current_attrs(state).copy()
-
-    def _pager_attr_write_out(self, source_key, pager_object, attrs) -> None:
-        state = self._state_by_source(source_key)
-        if self.cache_enabled:
-            state.attrs = CachedAttributes(attrs.copy(), dirty=True)
-            requester = self._requester_channel(source_key, pager_object)
-            self._invalidate_upstream_attrs(state, exclude=requester)
-        else:
-            self._ensure_down(state)
-            if state.down_pager is not None:
-                state.down_pager.attr_write_out(attrs)
-
-    def _on_channel_closed(self, source_key, channel: Channel) -> None:
-        state = self._states_by_source.get(source_key)
-        if state is not None:
-            state.holders.drop_channel(channel)
-
-    # --------------------------------------------- cache hooks (downstream)
-    # The lower pager acts on our cache of ITS file; we must first recall
-    # the affected blocks from our own upstream holders (recursive
-    # coherency, the P3-C3 arrow of Figure 6 composed with P1-C1).
-    def _cache_flush_back(self, state, offset: int, size: int) -> Dict[int, bytes]:
-        with self._fanout_region():
-            recovered = state.holders.acquire(
-                None, offset, size, AccessRights.READ_WRITE
-            )
-        for index, data in recovered.items():
-            state.store.install(index, data, AccessRights.READ_WRITE, dirty=True)
-        modified = state.store.collect_modified(offset, size)
-        state.store.drop_range(offset, size)
-        return modified
-
-    def _cache_deny_writes(self, state, offset: int, size: int) -> Dict[int, bytes]:
-        with self._fanout_region():
-            recovered = state.holders.acquire(
-                None, offset, size, AccessRights.READ_ONLY
-            )
-        for index, data in recovered.items():
-            state.store.install(index, data, AccessRights.READ_WRITE, dirty=True)
-        modified = state.store.collect_modified(offset, size)
-        state.store.downgrade_range(offset, size)
-        state.store.clean_range(offset, size)
-        return modified
-
-    def _cache_write_back(self, state, offset: int, size: int) -> Dict[int, bytes]:
-        with self._fanout_region():
-            recovered = state.holders.collect_latest(offset, size)
-        for index, data in recovered.items():
-            state.store.install(index, data, AccessRights.READ_WRITE, dirty=True)
-        modified = state.store.collect_modified(offset, size)
-        state.store.clean_range(offset, size)
-        return modified
-
-    def _cache_delete_range(self, state, offset: int, size: int) -> None:
-        with self._fanout_region():
-            state.holders.invalidate(offset, size)
-        state.store.drop_range(offset, size)
-
-    def _cache_zero_fill(self, state, offset: int, size: int) -> None:
-        with self._fanout_region():
-            state.holders.invalidate(offset, size)
-        state.store.zero_range(offset, size)
-
-    def _cache_populate(
-        self, state, offset: int, size: int, access: AccessRights, data: bytes
-    ) -> None:
-        for i, index in enumerate(page_range(offset, size)):
-            state.store.install(
-                index, data[i * PAGE_SIZE : (i + 1) * PAGE_SIZE], access
-            )
-
-    def _cache_destroy(self, state) -> None:
-        state.store.clear()
-        state.attrs = None
-        state.destroyed = True
-
-    def _cache_invalidate_attributes(self, state) -> None:
-        state.attrs = None
-        self._invalidate_upstream_attrs(state)
-
-    def _cache_write_back_attributes(self, state) -> Optional[FileAttributes]:
-        if state.attrs is not None and state.attrs.dirty:
-            # The pager below now owns the latest attributes; our copy is
-            # clean (mirrors write_back's dirty-clearing for data).
-            state.attrs.dirty = False
-            return state.attrs.attrs.copy()
-        return None

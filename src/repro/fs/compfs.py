@@ -24,27 +24,33 @@ selected per instance:
 On-disk format of the underlying file: ``b"CZ01" + u64 plaintext size +
 zlib stream``.  Compression is real (zlib), so the space savings COMPFS
 exists for are measurable.
+
+COMPFS is the paper's canonical *transform* layer: in spine terms its
+override points are the decode on page-in and the encode on write-back
+(:class:`CompOps`), plus the plaintext view of lengths and attributes.
+Everything else — naming, binding, holder fan-out — is the generic
+runtime.
 """
 
 from __future__ import annotations
 
 import struct
 import zlib
-from typing import Dict, Hashable, Optional
+from typing import Dict, Optional
 
 from repro.errors import FsError
-from repro.ipc.invocation import operation
-from repro.ipc.narrow import narrow
-from repro.naming.context import NamingContext
 from repro.types import PAGE_SIZE, AccessRights, page_range
-from repro.vm.channel import BindResult, Channel
-from repro.vm.memory_object import CacheManager
 from repro.vm.page import PageStore
 
 from repro.fs.attributes import FileAttributes
-from repro.fs.base import BaseLayer
+from repro.fs.base import (
+    BaseLayer,
+    ChannelOps,
+    LayerDirectory,
+    LayerFile,
+    LayerFileState,
+)
 from repro.fs.file import File
-from repro.fs.holders import BlockHolderTable
 
 MAGIC = b"CZ01"
 _HEADER = struct.Struct("<4sQ")
@@ -70,253 +76,173 @@ def unpack_compressed(payload: bytes) -> bytes:
     return plaintext
 
 
-class CompFileState:
+class CompFileState(LayerFileState):
     """Per-file state: plaintext cache + upstream holders + downstream
     channel (case 2 only)."""
 
     def __init__(self, layer: "CompFs", under_file: File) -> None:
-        self.layer = layer
-        self.under_file = under_file
-        self.under_key = under_file.source_key
-        self.source_key: Hashable = ("compfs", layer.oid, self.under_key)
+        super().__init__(layer, under_file)
         self.plain = PageStore()
         self.plain_size: Optional[int] = None  # None = not loaded
         self.dirty = False
-        self.holders = BlockHolderTable()
-        self.down_channel: Optional[Channel] = None
         #: True while _write_through is rewriting the underlying file.
         #: The lower layer's coherency actions during that window are
         #: echoes of our own write — they must not invalidate the (still
         #: current) plaintext or our clients' caches.
         self.writing_through = False
 
-
-class CompFile(File):
-    """An open handle to a COMPFS file (plaintext view)."""
-
-    def __init__(self, layer: "CompFs", state: CompFileState) -> None:
-        super().__init__(layer.domain)
-        self.layer = layer
-        self.state = state
-        self.source_key = state.source_key
-        layer.world.charge.fs_open_state()
-
-    @operation
-    def bind(
-        self,
-        cache_manager: CacheManager,
-        requested_access: AccessRights,
-        offset: int,
-        length: int,
-    ) -> BindResult:
-        # Case 1 or 2, binds to file_COMP are handled by COMPFS itself —
-        # plaintext differs from the stored data, so the underlying cache
-        # can never be shared (paper sec. 4.2.2 last paragraph).
-        return self.layer.bind_source(
-            self.source_key,
-            cache_manager,
-            requested_access,
-            offset,
-            label=f"compfs:{self.state.under_key}",
-        )
-
-    @operation
-    def get_length(self) -> int:
-        self.layer._ensure_loaded(self.state)
-        return self.state.plain_size
-
-    @operation
-    def set_length(self, length: int) -> None:
-        self.layer.file_set_length(self.state, length)
-
-    @operation
-    def read(self, offset: int, size: int) -> bytes:
-        return self.layer.file_read(self.state, offset, size)
-
-    @operation
-    def write(self, offset: int, data: bytes) -> int:
-        return self.layer.file_write(self.state, offset, data)
-
-    @operation
-    def get_attributes(self) -> FileAttributes:
-        return self.layer.file_get_attributes(self.state)
-
-    @operation
-    def check_access(self, access: AccessRights) -> None:
-        self.layer.world.charge.fs_access_check()
-
-    @operation
-    def sync(self) -> None:
-        self.layer.file_sync(self.state)
+    def purge(self) -> None:
+        super().purge()
+        self.plain.clear()
+        self.plain_size = None
+        self.dirty = False
 
 
-class CompDirectory(NamingContext):
+class CompFile(LayerFile):
+    """An open handle to a COMPFS file (plaintext view).
+
+    Binds to file_COMP are handled by COMPFS itself in both cases —
+    plaintext differs from the stored data, so the underlying cache can
+    never be shared (paper sec. 4.2.2 last paragraph) — which is exactly
+    the generic :class:`LayerFile` behaviour.
+    """
+
+
+class CompDirectory(LayerDirectory):
     """Directory wrapper exporting COMPFS files."""
 
-    def __init__(self, layer: "CompFs", under_context: NamingContext) -> None:
-        super().__init__(layer.domain)
-        self.layer = layer
-        self.under_context = under_context
 
-    @operation
-    def resolve(self, name: str) -> object:
-        return self.layer.wrap_resolved(self.under_context.resolve(name))
+class CompOps(ChannelOps):
+    """COMPFS's transform points: pages are served from / merged into the
+    whole-file plaintext cache, and every modification is re-encoded and
+    written through (case 2).  The compressed image below is held
+    read-only, so cache-side flushes return nothing — any change to it
+    just drops the derived plaintext."""
 
-    @operation
-    def bind(self, name: str, obj: object) -> None:
-        self.under_context.bind(name, obj)
+    def merge_recovered(self, state, recovered: Dict[int, bytes]) -> None:
+        self.layer._merge(state, recovered)
 
-    @operation
-    def unbind(self, name: str) -> object:
-        self.layer.purge_named(self.under_context, name)
-        return self.under_context.unbind(name)
+    def page_in(self, source_key, pager_object, offset, size, access) -> bytes:
+        layer = self.layer
+        state = self.state(source_key)
+        layer._ensure_loaded(state)
+        requester = self.requester(source_key, pager_object)
+        recovered = state.holders.acquire(requester, offset, size, access)
+        self.merge_recovered(state, recovered)
+        if offset >= state.plain_size:
+            return b""
+        size = min(size, state.plain_size - offset)
+        return state.plain.read(offset, size, layer._zero_fault(state))
 
-    @operation
-    def rebind(self, name: str, obj: object) -> object:
-        return self.under_context.rebind(name, obj)
+    def page_in_range(
+        self, source_key, pager_object, offset, min_size, max_size, access
+    ) -> bytes:
+        """COMPFS holds the whole plaintext once loaded, so serving a
+        read-ahead window up to ``max_size`` costs nothing extra — the
+        hint survives to upstream caches instead of dying here."""
+        state = self.state(source_key)
+        self.layer._ensure_loaded(state)
+        size = min(max_size, max(min_size, state.plain_size - offset))
+        size = max(size, 0)
+        if size == 0:
+            return b""
+        return self.page_in(source_key, pager_object, offset, size, access)
 
-    @operation
-    def list_bindings(self):
-        return [
-            (name, self.layer.wrap_resolved(obj, charge_open=False))
-            for name, obj in self.under_context.list_bindings()
-        ]
+    def page_out(self, source_key, pager_object, offset, size, data, retain) -> None:
+        layer = self.layer
+        state = self.state(source_key)
+        layer._ensure_loaded(state)
+        self.writeback_bookkeeping(
+            state, self.requester(source_key, pager_object), offset, size, retain
+        )
+        usable = min(size, max(0, state.plain_size - offset))
+        pages = {}
+        for i, index in enumerate(page_range(offset, usable)):
+            pages[index] = data[i * PAGE_SIZE : (i + 1) * PAGE_SIZE]
+        self.merge_recovered(state, pages)
+        if layer.coherent:
+            layer._write_through(state)
 
-    @operation
-    def create_file(self, name: str) -> File:
-        return self.layer.wrap_resolved(self.under_context.create_file(name))
+    def attr_page_in(self, source_key, pager_object) -> FileAttributes:
+        state = self.state(source_key)
+        return self.layer.file_get_attributes(state)
 
-    @operation
-    def create_dir(self, name: str) -> "CompDirectory":
-        return CompDirectory(self.layer, self.under_context.create_dir(name))
+    def attr_write_out(self, source_key, pager_object, attrs) -> None:
+        layer = self.layer
+        state = self.state(source_key)
+        layer._ensure_loaded(state)
+        if attrs.size != state.plain_size:
+            layer.file_set_length(state, attrs.size)
 
-    @operation
-    def rename(self, old_name: str, new_name: str) -> None:
-        self.under_context.rename(old_name, new_name)
+    # -------------------------------------------------- cache side (case 2)
+    # The lower layer invalidates/flushes our cache of the *compressed*
+    # bytes.  Plaintext is derived data: any change to the compressed
+    # image invalidates the whole plaintext cache (conservative, always
+    # correct for a whole-file compressor).  We write through, so we
+    # never hold modified compressed data — the flush/deny results are
+    # empty.
+    def flush_back(self, state, offset, size) -> Dict[int, bytes]:
+        self.layer._drop_plaintext(state)
+        return {}
+
+    def deny_writes(self, state, offset, size) -> Dict[int, bytes]:
+        # We only ever hold the compressed image read-only.
+        return {}
+
+    def write_back(self, state, offset, size) -> Dict[int, bytes]:
+        return {}
+
+    def delete_range(self, state, offset, size) -> None:
+        self.layer._drop_plaintext(state)
+
+    def zero_fill(self, state, offset, size) -> None:
+        self.layer._drop_plaintext(state)
+
+    def populate(self, state, offset, size, access, data) -> None:
+        # Fresh compressed data pushed at us; simplest correct response
+        # is to reload lazily.
+        self.layer._drop_plaintext(state)
+
+    def destroy_cache(self, state) -> None:
+        self.layer._drop_plaintext(state)
+        state.down_channel = None
+
+    def invalidate_attributes(self, state) -> None:
+        # Length lives in the compressed header; reload lazily.
+        self.layer._drop_plaintext(state)
 
 
 class CompFs(BaseLayer):
     """The compression layer; see module docstring."""
 
     max_under = 1
+    ops_class = CompOps
+    state_class = CompFileState
+    file_class = CompFile
+    directory_class = CompDirectory
+    down_access = AccessRights.READ_ONLY
 
     def __init__(self, domain, coherent: bool = True, level: int = 6) -> None:
         super().__init__(domain)
         self.coherent = coherent
         self.level = level
-        self._states: Dict[Hashable, CompFileState] = {}
-        self._states_by_source: Dict[Hashable, CompFileState] = {}
 
     def fs_type(self) -> str:
         return "compfs"
 
-    # ------------------------------------------------------------- naming face
-    @operation
-    def resolve(self, name: str) -> object:
-        return self.wrap_resolved(self.under.resolve(name))
-
-    @operation
-    def bind(self, name: str, obj: object) -> None:
-        self.under.bind(name, obj)
-
-    @operation
-    def unbind(self, name: str) -> object:
-        self.purge_named(self.under, name)
-        return self.under.unbind(name)
-
-    @operation
-    def rebind(self, name: str, obj: object) -> object:
-        return self.under.rebind(name, obj)
-
-    @operation
-    def list_bindings(self):
-        return [
-            (name, self.wrap_resolved(obj, charge_open=False))
-            for name, obj in self.under.list_bindings()
-        ]
-
-    @operation
-    def create_file(self, name: str) -> File:
-        # "A request to COMPFS to create a new file_COMP results in
-        # COMPFS creating a new underlying file_SFS."
-        return self.wrap_resolved(self.under.create_file(name))
-
-    @operation
-    def create_dir(self, name: str) -> CompDirectory:
-        return CompDirectory(self, self.under.create_dir(name))
-
-    @operation
-    def rename(self, old_name: str, new_name: str) -> None:
-        self.under.rename(old_name, new_name)
-
-    # ------------------------------------------------------ unlink hygiene
-    def purge_named(self, under_context, name: str) -> None:
-        """Drop per-file state before an unlink; the freed i-node may be
-        reused and stale cached state must not leak into the new file."""
-        try:
-            obj = under_context.resolve(name)
-        except Exception:
-            return
-        under_file = narrow(obj, File)
-        if under_file is not None:
-            self._purge_state(under_file.source_key)
-
-    def _purge_state(self, under_key) -> None:
-        state = self._states.pop(under_key, None)
-        if state is None:
-            return
-        self._states_by_source.pop(state.source_key, None)
-        state.holders.invalidate(0, 2**62)
-        state.plain.clear()
-        state.plain_size = None
-        state.dirty = False
-        if state.down_channel is not None and not state.down_channel.closed:
-            state.down_channel.close()
-            state.down_channel = None
-
-    def wrap_resolved(self, obj: object, charge_open: bool = True) -> object:
-        under_file = narrow(obj, File)
-        if under_file is not None:
-            if charge_open:
-                under_file.check_access(AccessRights.READ_ONLY)
-                under_file.get_attributes()
-            state = self._state_for(under_file)
-            if charge_open:
-                return CompFile(self, state)
-            handle = object.__new__(CompFile)
-            File.__init__(handle, self.domain)
-            handle.layer = self
-            handle.state = state
-            handle.source_key = state.source_key
-            return handle
-        under_context = narrow(obj, NamingContext)
-        if under_context is not None:
-            return CompDirectory(self, under_context)
-        return obj
-
-    def _state_for(self, under_file: File) -> CompFileState:
-        state = self._states.get(under_file.source_key)
-        if state is None:
-            state = CompFileState(self, under_file)
-            self._states[state.under_key] = state
-            self._states_by_source[state.source_key] = state
-        return state
-
     # -------------------------------------------------------------- load/store
-    def _ensure_down(self, state: CompFileState) -> None:
+    def ensure_down(self, state: CompFileState) -> bool:
         """Case 2: establish the C3-P3 connection so direct access to the
-        underlying file triggers coherency actions against us."""
+        underlying file triggers coherency actions against us.  Case 1
+        declines — COMPFS stays invisible to the lower layer."""
         if not self.coherent:
-            return
-        if state.down_channel is None or state.down_channel.closed:
-            state.down_channel = self.bind_below(
-                state, state.under_file, AccessRights.READ_ONLY
-            )
+            return False
+        return super().ensure_down(state)
 
     def _ensure_loaded(self, state: CompFileState) -> None:
         if state.plain_size is not None:
             return
-        self._ensure_down(state)
+        self.ensure_down(state)
         compressed_size = state.under_file.get_length()
         if self.coherent and compressed_size > 0:
             # Read through the channel so we are registered as a holder —
@@ -372,6 +298,21 @@ class CompFs(BaseLayer):
             state.writing_through = False
         state.dirty = False
 
+    def _drop_plaintext(self, state: CompFileState) -> None:
+        if state.writing_through:
+            return  # echo of our own write; the plaintext is current
+        state.plain.clear()
+        state.plain_size = None
+        state.dirty = False
+        # Our clients' caches are now potentially stale too.
+        if state.holders.any_holder():
+            state.holders.invalidate(0, 2**62)
+
+    def _merge(self, state: CompFileState, recovered: Dict[int, bytes]) -> None:
+        for index, data in recovered.items():
+            state.plain.install(index, data, AccessRights.READ_WRITE, dirty=True)
+            state.dirty = True
+
     # ------------------------------------------------------------------ file ops
     def file_read(self, state: CompFileState, offset: int, size: int) -> bytes:
         self.world.charge.fs_read_cpu()
@@ -399,6 +340,10 @@ class CompFs(BaseLayer):
         if self.coherent:
             self._write_through(state)
         return len(data)
+
+    def file_length(self, state: CompFileState) -> int:
+        self._ensure_loaded(state)
+        return state.plain_size
 
     def file_set_length(self, state: CompFileState, length: int) -> None:
         self._ensure_loaded(state)
@@ -433,11 +378,6 @@ class CompFs(BaseLayer):
             if state.plain_size is not None and state.dirty:
                 self._write_through(state)
 
-    def _merge(self, state: CompFileState, recovered: Dict[int, bytes]) -> None:
-        for index, data in recovered.items():
-            state.plain.install(index, data, AccessRights.READ_WRITE, dirty=True)
-            state.dirty = True
-
     # --------------------------------------------------------------- statistics
     def space_report(self, state_or_file) -> Dict[str, int]:
         """Plaintext vs stored (compressed) sizes for one file."""
@@ -451,125 +391,3 @@ class CompFs(BaseLayer):
             "plaintext_bytes": state.plain_size,
             "stored_bytes": state.under_file.get_length(),
         }
-
-    # ------------------------------------------------------------- pager hooks
-    def _pager_page_in(
-        self, source_key, pager_object, offset: int, size: int, access: AccessRights
-    ) -> bytes:
-        state = self._states_by_source[source_key]
-        self._ensure_loaded(state)
-        requester = None
-        for channel in self.channels.channels_for(source_key):
-            if channel.pager_object is pager_object:
-                requester = channel
-        recovered = state.holders.acquire(requester, offset, size, access)
-        self._merge(state, recovered)
-        if offset >= state.plain_size:
-            return b""
-        size = min(size, state.plain_size - offset)
-        return state.plain.read(offset, size, self._zero_fault(state))
-
-    def _pager_page_in_range(
-        self, source_key, pager_object, offset, min_size, max_size, access
-    ) -> bytes:
-        """COMPFS holds the whole plaintext once loaded, so serving a
-        read-ahead window up to ``max_size`` costs nothing extra — the
-        hint survives to upstream caches instead of dying here."""
-        state = self._states_by_source[source_key]
-        self._ensure_loaded(state)
-        size = min(max_size, max(min_size, state.plain_size - offset))
-        size = max(size, 0)
-        if size == 0:
-            return b""
-        return self._pager_page_in(source_key, pager_object, offset, size, access)
-
-    def _pager_page_out(
-        self, source_key, pager_object, offset: int, size: int, data: bytes, retain
-    ) -> None:
-        state = self._states_by_source[source_key]
-        self._ensure_loaded(state)
-        for channel in self.channels.channels_for(source_key):
-            if channel.pager_object is pager_object:
-                if retain is None:
-                    state.holders.forget_range(channel, offset, size)
-                elif retain is AccessRights.READ_ONLY:
-                    state.holders.record(
-                        channel, offset, size, AccessRights.READ_ONLY
-                    )
-                else:
-                    recovered = state.holders.acquire(
-                        channel, offset, size, AccessRights.READ_WRITE
-                    )
-                    self._merge(state, recovered)
-        usable = min(size, max(0, state.plain_size - offset))
-        pages = {}
-        for i, index in enumerate(page_range(offset, usable)):
-            pages[index] = data[i * PAGE_SIZE : (i + 1) * PAGE_SIZE]
-        self._merge(state, pages)
-        if self.coherent:
-            self._write_through(state)
-
-    def _pager_attr_page_in(self, source_key, pager_object) -> FileAttributes:
-        state = self._states_by_source[source_key]
-        return self.file_get_attributes(state)
-
-    def _pager_attr_write_out(self, source_key, pager_object, attrs) -> None:
-        state = self._states_by_source[source_key]
-        self._ensure_loaded(state)
-        if attrs.size != state.plain_size:
-            self.file_set_length(state, attrs.size)
-
-    def _on_channel_closed(self, source_key, channel: Channel) -> None:
-        state = self._states_by_source.get(source_key)
-        if state is not None:
-            state.holders.drop_channel(channel)
-
-    # -------------------------------------------------- cache hooks (case 2)
-    # The lower layer invalidates/flushes our cache of the *compressed*
-    # bytes.  Plaintext is derived data: any change to the compressed
-    # image invalidates the whole plaintext cache (conservative, always
-    # correct for a whole-file compressor).  We write through, so we
-    # never hold modified compressed data — the flush/deny results are
-    # empty.
-    def _drop_plaintext(self, state: CompFileState) -> None:
-        if state.writing_through:
-            return  # echo of our own write; the plaintext is current
-        state.plain.clear()
-        state.plain_size = None
-        state.dirty = False
-        # Our clients' caches are now potentially stale too.
-        if state.holders.any_holder():
-            state.holders.invalidate(0, 2**62)
-
-    def _cache_flush_back(self, state, offset: int, size: int) -> Dict[int, bytes]:
-        self._drop_plaintext(state)
-        return {}
-
-    def _cache_deny_writes(self, state, offset: int, size: int) -> Dict[int, bytes]:
-        # We only ever hold the compressed image read-only.
-        return {}
-
-    def _cache_write_back(self, state, offset: int, size: int) -> Dict[int, bytes]:
-        return {}
-
-    def _cache_delete_range(self, state, offset: int, size: int) -> None:
-        self._drop_plaintext(state)
-
-    def _cache_zero_fill(self, state, offset: int, size: int) -> None:
-        self._drop_plaintext(state)
-
-    def _cache_populate(self, state, offset, size, access, data) -> None:
-        # Fresh compressed data pushed at us; simplest correct response
-        # is to reload lazily.
-        self._drop_plaintext(state)
-
-    def _cache_destroy(self, state) -> None:
-        self._drop_plaintext(state)
-        state.down_channel = None
-
-    def _cache_invalidate_attributes(self, state) -> None:
-        # Length lives in the compressed header; reload lazily.
-        self._drop_plaintext(state)
-
-    def _cache_write_back_attributes(self, state) -> Optional[FileAttributes]:
-        return None

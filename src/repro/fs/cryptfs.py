@@ -11,27 +11,30 @@ underlying file, with per-block (not whole-file) cache invalidation.
 Cipher: XOR with a SHA-256-based keystream per 4 KiB block — honest
 keyed encryption for a simulator (documented as NOT cryptographically
 reviewed; the point is the layer mechanics, not the cipher).
+
+In spine terms the transform points are the decrypt on page-in and the
+encrypt-and-write-through on page-out/merge (:class:`CryptOps`); the
+naming face, binding, and attribute forwarding are all generic.
 """
 
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, Hashable, Optional
+from typing import Dict
 
 from repro.errors import FsError
 
-from repro.ipc.invocation import operation
-from repro.ipc.narrow import narrow
-from repro.naming.context import NamingContext
 from repro.types import PAGE_SIZE, AccessRights, page_range
-from repro.vm.channel import BindResult, Channel
-from repro.vm.memory_object import CacheManager
 from repro.vm.page import PageStore, index_runs
 
-from repro.fs.attributes import FileAttributes
-from repro.fs.base import BaseLayer
+from repro.fs.base import (
+    BaseLayer,
+    ChannelOps,
+    LayerDirectory,
+    LayerFile,
+    LayerFileState,
+)
 from repro.fs.file import File
-from repro.fs.holders import BlockHolderTable
 
 
 def keystream(key: bytes, block_index: int, length: int = PAGE_SIZE) -> bytes:
@@ -51,115 +54,113 @@ def xor_block(data: bytes, key: bytes, block_index: int) -> bytes:
     return bytes(a ^ b for a, b in zip(data, stream))
 
 
-class CryptFileState:
+class CryptFileState(LayerFileState):
     def __init__(self, layer: "CryptFs", under_file: File) -> None:
-        self.layer = layer
-        self.under_file = under_file
-        self.under_key = under_file.source_key
-        self.source_key: Hashable = ("cryptfs", layer.oid, self.under_key)
+        super().__init__(layer, under_file)
         self.plain = PageStore()          # decrypted block cache
-        self.holders = BlockHolderTable()
-        self.down_channel: Optional[Channel] = None
         #: True once the lower layer refused a writable bind (mirrorfs);
         #: we then use the plain file interface instead of a channel.
         self.channel_refused = False
 
+    def purge(self) -> None:
+        super().purge()
+        self.plain.clear()
 
-class CryptFile(File):
-    def __init__(self, layer: "CryptFs", state: CryptFileState) -> None:
-        super().__init__(layer.domain)
-        self.layer = layer
-        self.state = state
-        self.source_key = state.source_key
-        layer.world.charge.fs_open_state()
 
-    @operation
-    def bind(
-        self,
-        cache_manager: CacheManager,
-        requested_access: AccessRights,
-        offset: int,
-        length: int,
-    ) -> BindResult:
-        return self.layer.bind_source(
-            self.source_key,
-            cache_manager,
-            requested_access,
-            offset,
-            label=f"cryptfs:{self.state.under_key}",
+class CryptFile(LayerFile):
+    """An open handle to a CRYPTFS file (plaintext view; the length is
+    preserved, so length/attribute forwarding is the generic default)."""
+
+
+class CryptDirectory(LayerDirectory):
+    pass
+
+
+class CryptOps(ChannelOps):
+    """CRYPTFS's transform points: decrypt on the way up, encrypt and
+    write through on the way down.  Write-through means a syncing client
+    is never registered as a writer (``register_writers`` off): the
+    ciphertext below is already current, so there is nothing to recall
+    from it later."""
+
+    register_writers = False
+
+    def merge_recovered(self, state, recovered: Dict[int, bytes]) -> None:
+        self.layer._merge(state, recovered)
+
+    def page_in(self, source_key, pager_object, offset, size, access) -> bytes:
+        layer = self.layer
+        state = self.state(source_key)
+        requester = self.requester(source_key, pager_object)
+        recovered = state.holders.acquire(requester, offset, size, access)
+        self.merge_recovered(state, recovered)
+        return state.plain.read(offset, size, layer._fault_decrypt(state, access))
+
+    def page_in_range(
+        self, source_key, pager_object, offset, min_size, max_size, access
+    ) -> bytes:
+        """Ranged page-in: fetch the missing ciphertext window from
+        below in clustered ranged calls, decrypt per block, and serve
+        the whole window — an upstream read-ahead hint survives the
+        encryption layer instead of collapsing to one page."""
+        layer = self.layer
+        state = self.state(source_key)
+        size = self.clamp_window(state, offset, min_size, max_size)
+        if size == 0:
+            return b""
+        requester = self.requester(source_key, pager_object)
+        recovered = state.holders.acquire(requester, offset, size, access)
+        self.merge_recovered(state, recovered)
+        layer._prefetch_decrypt(state, offset, size, access)
+        return state.plain.read(offset, size, layer._fault_decrypt(state, access))
+
+    def page_out(self, source_key, pager_object, offset, size, data, retain) -> None:
+        state = self.state(source_key)
+        self.writeback_bookkeeping(
+            state, self.requester(source_key, pager_object), offset, size, retain
         )
+        pages = {
+            index: data[i * PAGE_SIZE : (i + 1) * PAGE_SIZE]
+            for i, index in enumerate(page_range(offset, size))
+        }
+        self.merge_recovered(state, pages)
 
-    @operation
-    def get_length(self) -> int:
-        return self.state.under_file.get_length()  # length-preserving
+    def attr_write_out(self, source_key, pager_object, attrs) -> None:
+        state = self.state(source_key)
+        if attrs.size != state.under_file.get_length():
+            self.layer.file_set_length(state, attrs.size)
 
-    @operation
-    def set_length(self, length: int) -> None:
-        self.layer.file_set_length(self.state, length)
+    # --- cache side (from below): per-block invalidation -------------------
+    def flush_back(self, state, offset, size) -> Dict[int, bytes]:
+        state.holders.invalidate(offset, size)
+        state.plain.drop_range(offset, size)
+        return {}  # write-through: nothing modified held here
 
-    @operation
-    def read(self, offset: int, size: int) -> bytes:
-        return self.layer.file_read(self.state, offset, size)
+    def deny_writes(self, state, offset, size) -> Dict[int, bytes]:
+        state.plain.downgrade_range(offset, size)
+        return {}
 
-    @operation
-    def write(self, offset: int, data: bytes) -> int:
-        return self.layer.file_write(self.state, offset, data)
+    def write_back(self, state, offset, size) -> Dict[int, bytes]:
+        return {}
 
-    @operation
-    def get_attributes(self) -> FileAttributes:
-        self.layer.world.charge.fs_attr_copy()
-        return self.state.under_file.get_attributes()
+    def delete_range(self, state, offset, size) -> None:
+        state.holders.invalidate(offset, size)
+        self.layer._drop_clean(state, offset, size)
 
-    @operation
-    def check_access(self, access: AccessRights) -> None:
-        self.layer.world.charge.fs_access_check()
+    def zero_fill(self, state, offset, size) -> None:
+        state.holders.invalidate(offset, size)
+        self.layer._drop_clean(state, offset, size)
 
-    @operation
-    def sync(self) -> None:
-        self.layer.file_sync(self.state)
+    def populate(self, state, offset, size, access, data) -> None:
+        state.holders.invalidate(offset, size)
+        self.layer._drop_clean(state, offset, size)
 
+    def destroy_cache(self, state) -> None:
+        state.plain.clear()
+        state.down_channel = None
 
-class CryptDirectory(NamingContext):
-    def __init__(self, layer: "CryptFs", under_context: NamingContext) -> None:
-        super().__init__(layer.domain)
-        self.layer = layer
-        self.under_context = under_context
-
-    @operation
-    def resolve(self, name: str) -> object:
-        return self.layer.wrap_resolved(self.under_context.resolve(name))
-
-    @operation
-    def bind(self, name: str, obj: object) -> None:
-        self.under_context.bind(name, obj)
-
-    @operation
-    def unbind(self, name: str) -> object:
-        self.layer.purge_named(self.under_context, name)
-        return self.under_context.unbind(name)
-
-    @operation
-    def rebind(self, name: str, obj: object) -> object:
-        return self.under_context.rebind(name, obj)
-
-    @operation
-    def list_bindings(self):
-        return [
-            (name, self.layer.wrap_resolved(obj, charge_open=False))
-            for name, obj in self.under_context.list_bindings()
-        ]
-
-    @operation
-    def create_file(self, name: str) -> File:
-        return self.layer.wrap_resolved(self.under_context.create_file(name))
-
-    @operation
-    def create_dir(self, name: str) -> "CryptDirectory":
-        return CryptDirectory(self.layer, self.under_context.create_dir(name))
-
-    @operation
-    def rename(self, old_name: str, new_name: str) -> None:
-        self.under_context.rename(old_name, new_name)
+    def invalidate_attributes(self, state) -> None:
+        pass  # attributes are not cached by this layer
 
 
 class CryptFs(BaseLayer):
@@ -167,106 +168,20 @@ class CryptFs(BaseLayer):
     channel to the layer below, like COMPFS case 2, but per-block)."""
 
     max_under = 1
+    ops_class = CryptOps
+    state_class = CryptFileState
+    file_class = CryptFile
+    directory_class = CryptDirectory
 
     def __init__(self, domain, key: bytes = b"spring-cryptfs-demo-key") -> None:
         super().__init__(domain)
         self.key = key
-        self._states: Dict[Hashable, CryptFileState] = {}
-        self._states_by_source: Dict[Hashable, CryptFileState] = {}
 
     def fs_type(self) -> str:
         return "cryptfs"
 
-    # --- naming face (same wrapping pattern as the other layers) ----------
-    @operation
-    def resolve(self, name: str) -> object:
-        return self.wrap_resolved(self.under.resolve(name))
-
-    @operation
-    def bind(self, name: str, obj: object) -> None:
-        self.under.bind(name, obj)
-
-    @operation
-    def unbind(self, name: str) -> object:
-        self.purge_named(self.under, name)
-        return self.under.unbind(name)
-
-    @operation
-    def rebind(self, name: str, obj: object) -> object:
-        return self.under.rebind(name, obj)
-
-    @operation
-    def list_bindings(self):
-        return [
-            (name, self.wrap_resolved(obj, charge_open=False))
-            for name, obj in self.under.list_bindings()
-        ]
-
-    @operation
-    def create_file(self, name: str) -> File:
-        return self.wrap_resolved(self.under.create_file(name))
-
-    @operation
-    def create_dir(self, name: str) -> CryptDirectory:
-        return CryptDirectory(self, self.under.create_dir(name))
-
-    @operation
-    def rename(self, old_name: str, new_name: str) -> None:
-        self.under.rename(old_name, new_name)
-
-    # ------------------------------------------------------ unlink hygiene
-    def purge_named(self, under_context, name: str) -> None:
-        """Drop per-file state before an unlink; the freed i-node may be
-        reused and stale cached state must not leak into the new file."""
-        try:
-            obj = under_context.resolve(name)
-        except Exception:
-            return
-        under_file = narrow(obj, File)
-        if under_file is not None:
-            self._purge_state(under_file.source_key)
-
-    def _purge_state(self, under_key) -> None:
-        state = self._states.pop(under_key, None)
-        if state is None:
-            return
-        self._states_by_source.pop(state.source_key, None)
-        state.holders.invalidate(0, 2**62)
-        state.plain.clear()
-        if state.down_channel is not None and not state.down_channel.closed:
-            state.down_channel.close()
-            state.down_channel = None
-
-    def wrap_resolved(self, obj: object, charge_open: bool = True) -> object:
-        under_file = narrow(obj, File)
-        if under_file is not None:
-            if charge_open:
-                under_file.check_access(AccessRights.READ_ONLY)
-                under_file.get_attributes()
-            state = self._state_for(under_file)
-            if charge_open:
-                return CryptFile(self, state)
-            handle = object.__new__(CryptFile)
-            File.__init__(handle, self.domain)
-            handle.layer = self
-            handle.state = state
-            handle.source_key = state.source_key
-            return handle
-        under_context = narrow(obj, NamingContext)
-        if under_context is not None:
-            return CryptDirectory(self, under_context)
-        return obj
-
-    def _state_for(self, under_file: File) -> CryptFileState:
-        state = self._states.get(under_file.source_key)
-        if state is None:
-            state = CryptFileState(self, under_file)
-            self._states[state.under_key] = state
-            self._states_by_source[state.source_key] = state
-        return state
-
     # --- data path -----------------------------------------------------------
-    def _ensure_down(self, state: CryptFileState) -> bool:
+    def ensure_down(self, state: CryptFileState) -> bool:
         """Try to establish the coherency channel below.  Some layers
         (e.g. mirrorfs) refuse writable binds; CRYPTFS then degrades to
         plain file-interface access — still correct, just without the
@@ -276,10 +191,7 @@ class CryptFs(BaseLayer):
         if state.channel_refused:
             return False
         try:
-            state.down_channel = self.bind_below(
-                state, state.under_file, AccessRights.READ_WRITE
-            )
-            return True
+            return super().ensure_down(state)
         except FsError:
             state.channel_refused = True
             self.world.counters.inc("cryptfs.bind_refused")
@@ -288,14 +200,14 @@ class CryptFs(BaseLayer):
     def _page_in_under(
         self, state: CryptFileState, index: int, access: AccessRights
     ) -> bytes:
-        if self._ensure_down(state):
+        if self.ensure_down(state):
             return state.down_channel.pager_object.page_in(
                 index * PAGE_SIZE, PAGE_SIZE, access
             )
         return state.under_file.read(index * PAGE_SIZE, PAGE_SIZE)
 
     def _page_push_under(self, state: CryptFileState, index: int, data: bytes) -> None:
-        if self._ensure_down(state):
+        if self.ensure_down(state):
             state.down_channel.pager_object.sync(index * PAGE_SIZE, PAGE_SIZE, data)
         else:
             size = state.under_file.get_length()
@@ -312,6 +224,32 @@ class CryptFs(BaseLayer):
             return state.plain.install(index, plaintext, effective)
 
         return fault
+
+    def _prefetch_decrypt(
+        self, state: CryptFileState, offset: int, size: int, access: AccessRights
+    ) -> None:
+        """Pull the missing blocks of ``[offset, offset + size)`` from
+        below as contiguous ranged page-ins and install them decrypted.
+        In degraded file-interface mode (channel refused) the per-page
+        fault path handles them instead."""
+        if not self.ensure_down(state):
+            return
+        missing = [i for i in page_range(offset, size) if state.plain.get(i) is None]
+        for run_start, run_len in index_runs(missing):
+            if run_len < 2:
+                continue
+            ciphertext = state.down_channel.pager_object.page_in_range(
+                run_start * PAGE_SIZE,
+                run_len * PAGE_SIZE,
+                run_len * PAGE_SIZE,
+                access,
+            )
+            self.world.charge.decrypt(len(ciphertext))
+            for i in range(run_len):
+                block = ciphertext[i * PAGE_SIZE : (i + 1) * PAGE_SIZE]
+                state.plain.install(
+                    run_start + i, xor_block(block, self.key, run_start + i), access
+                )
 
     def file_read(self, state: CryptFileState, offset: int, size: int) -> bytes:
         self.world.charge.fs_read_cpu()
@@ -377,17 +315,17 @@ class CryptFs(BaseLayer):
         for index in page_range(offset, size):
             page = state.plain.get(index)
             if page is None or not page.dirty:
-                self._push_run(state, pending)
+                self._push_cipher_run(state, pending)
                 continue
             self.world.charge.encrypt(PAGE_SIZE)
             pending.append((index, xor_block(page.snapshot(), self.key, index)))
             page.dirty = False
-        self._push_run(state, pending)
+        self._push_cipher_run(state, pending)
 
-    def _push_run(self, state: CryptFileState, pending: list) -> None:
+    def _push_cipher_run(self, state: CryptFileState, pending: list) -> None:
         if not pending:
             return
-        if len(pending) > 1 and self._ensure_down(state):
+        if len(pending) > 1 and self.ensure_down(state):
             data = b"".join(ciphertext for _, ciphertext in pending)
             state.down_channel.pager_object.sync_range(
                 pending[0][0] * PAGE_SIZE, len(data), data
@@ -431,116 +369,6 @@ class CryptFs(BaseLayer):
             state, first * PAGE_SIZE, (last - first + 1) * PAGE_SIZE
         )
 
-    # --- pager hooks (clients of file_CRYPT) ----------------------------------
-    def _pager_page_in(
-        self, source_key, pager_object, offset: int, size: int, access: AccessRights
-    ) -> bytes:
-        state = self._states_by_source[source_key]
-        requester = None
-        for channel in self.channels.channels_for(source_key):
-            if channel.pager_object is pager_object:
-                requester = channel
-        recovered = state.holders.acquire(requester, offset, size, access)
-        self._merge(state, recovered)
-        return state.plain.read(offset, size, self._fault_decrypt(state, access))
-
-    def _pager_page_in_range(
-        self, source_key, pager_object, offset, min_size, max_size, access
-    ) -> bytes:
-        """Ranged page-in: fetch the missing ciphertext window from
-        below in clustered ranged calls, decrypt per block, and serve
-        the whole window — an upstream read-ahead hint survives the
-        encryption layer instead of collapsing to one page."""
-        state = self._states_by_source[source_key]
-        file_size = state.under_file.get_length()
-        size = min(max_size, max(min_size, file_size - offset))
-        size = max(size, 0)
-        if size == 0:
-            return b""
-        requester = None
-        for channel in self.channels.channels_for(source_key):
-            if channel.pager_object is pager_object:
-                requester = channel
-        recovered = state.holders.acquire(requester, offset, size, access)
-        self._merge(state, recovered)
-        self._prefetch_decrypt(state, offset, size, access)
-        return state.plain.read(offset, size, self._fault_decrypt(state, access))
-
-    def _prefetch_decrypt(
-        self, state: CryptFileState, offset: int, size: int, access: AccessRights
-    ) -> None:
-        """Pull the missing blocks of ``[offset, offset + size)`` from
-        below as contiguous ranged page-ins and install them decrypted.
-        In degraded file-interface mode (channel refused) the per-page
-        fault path handles them instead."""
-        if not self._ensure_down(state):
-            return
-        missing = [i for i in page_range(offset, size) if state.plain.get(i) is None]
-        for run_start, run_len in index_runs(missing):
-            if run_len < 2:
-                continue
-            ciphertext = state.down_channel.pager_object.page_in_range(
-                run_start * PAGE_SIZE,
-                run_len * PAGE_SIZE,
-                run_len * PAGE_SIZE,
-                access,
-            )
-            self.world.charge.decrypt(len(ciphertext))
-            for i in range(run_len):
-                block = ciphertext[i * PAGE_SIZE : (i + 1) * PAGE_SIZE]
-                state.plain.install(
-                    run_start + i, xor_block(block, self.key, run_start + i), access
-                )
-
-    def _pager_page_out(
-        self, source_key, pager_object, offset: int, size: int, data: bytes, retain
-    ) -> None:
-        state = self._states_by_source[source_key]
-        for channel in self.channels.channels_for(source_key):
-            if channel.pager_object is pager_object:
-                if retain is None:
-                    state.holders.forget_range(channel, offset, size)
-                elif retain is AccessRights.READ_ONLY:
-                    state.holders.record(
-                        channel, offset, size, AccessRights.READ_ONLY
-                    )
-        pages = {
-            index: data[i * PAGE_SIZE : (i + 1) * PAGE_SIZE]
-            for i, index in enumerate(page_range(offset, size))
-        }
-        self._merge(state, pages)
-
-    def _pager_attr_page_in(self, source_key, pager_object) -> FileAttributes:
-        state = self._states_by_source[source_key]
-        return state.under_file.get_attributes()
-
-    def _pager_attr_write_out(self, source_key, pager_object, attrs) -> None:
-        state = self._states_by_source[source_key]
-        if attrs.size != state.under_file.get_length():
-            self.file_set_length(state, attrs.size)
-
-    def _on_channel_closed(self, source_key, channel: Channel) -> None:
-        state = self._states_by_source.get(source_key)
-        if state is not None:
-            state.holders.drop_channel(channel)
-
-    # --- cache hooks (from below): per-block invalidation ----------------------
-    def _cache_flush_back(self, state, offset: int, size: int) -> Dict[int, bytes]:
-        state.holders.invalidate(offset, size)
-        state.plain.drop_range(offset, size)
-        return {}  # write-through: nothing modified held here
-
-    def _cache_deny_writes(self, state, offset: int, size: int) -> Dict[int, bytes]:
-        state.plain.downgrade_range(offset, size)
-        return {}
-
-    def _cache_write_back(self, state, offset: int, size: int) -> Dict[int, bytes]:
-        return {}
-
-    def _cache_delete_range(self, state, offset: int, size: int) -> None:
-        state.holders.invalidate(offset, size)
-        self._drop_clean(state, offset, size)
-
     def _drop_clean(self, state, offset: int, size: int) -> None:
         """Drop cached plaintext in the range — but never dirty pages:
         locally modified data supersedes any external invalidation and
@@ -548,21 +376,3 @@ class CryptFs(BaseLayer):
         for index, page in state.plain.drop_range(offset, size):
             if page.dirty:
                 state.plain._pages[index] = page
-
-    def _cache_zero_fill(self, state, offset: int, size: int) -> None:
-        state.holders.invalidate(offset, size)
-        self._drop_clean(state, offset, size)
-
-    def _cache_populate(self, state, offset, size, access, data) -> None:
-        state.holders.invalidate(offset, size)
-        self._drop_clean(state, offset, size)
-
-    def _cache_destroy(self, state) -> None:
-        state.plain.clear()
-        state.down_channel = None
-
-    def _cache_invalidate_attributes(self, state) -> None:
-        pass  # attributes are not cached by this layer
-
-    def _cache_write_back_attributes(self, state) -> Optional[FileAttributes]:
-        return None

@@ -21,28 +21,28 @@ The two defining mechanisms, both implemented here:
 Remote machines reach DFS through ordinary location-transparent object
 invocation — our network model charges every hop, which *is* the
 "private DFS protocol" of the paper for accounting purposes.
+
+DFS is the layer the :class:`repro.fs.base.ChannelOps` defaults are
+modelled on — a coherent pass-through that keeps no data cache of its
+own — so it overrides *no* channel operations at all.  What remains
+here is its one transform point (local bind forwarding) and the
+intent-open fast path.
 """
 
 from __future__ import annotations
 
-import contextlib
 import dataclasses
-from typing import Dict, Hashable, Optional
 
 from repro.errors import FsError
-from repro.ipc.compound import compound_region
-from repro.ipc.invocation import current_domain, operation
+from repro.ipc.invocation import operation
 from repro.ipc.narrow import narrow
-from repro.naming.context import NamingContext
-from repro.types import PAGE_SIZE, AccessRights, page_range
-from repro.vm.cache_object import FsCache
-from repro.vm.channel import BindResult, Channel
+from repro.types import AccessRights
+from repro.vm.channel import BindResult
 from repro.vm.memory_object import CacheManager
 
 from repro.fs.attributes import FileAttributes
-from repro.fs.base import BaseLayer
+from repro.fs.base import BaseLayer, LayerDirectory, LayerFile, LayerFileState
 from repro.fs.file import File
-from repro.fs.holders import BlockHolderTable, make_holder_table
 
 
 @dataclasses.dataclass(frozen=True)
@@ -56,29 +56,12 @@ class IntentOpenResult:
     attributes: FileAttributes
 
 
-class DfsFileState:
+class DfsFileState(LayerFileState):
     """Per-exported-file state on the DFS server."""
 
-    def __init__(self, layer: "DfsLayer", under_file: File) -> None:
-        self.layer = layer
-        self.under_file = under_file
-        self.under_key = under_file.source_key
-        self.source_key: Hashable = ("dfs", layer.oid, self.under_key)
-        #: Remote client channels (DFS is the pager for these).
-        self.holders = make_holder_table(layer.protocol)
-        #: P2-C2: DFS as cache manager to the layer below.
-        self.down_channel: Optional[Channel] = None
 
-
-class DfsFile(File):
+class DfsFile(LayerFile):
     """file_DFS: an open handle exported by DFS."""
-
-    def __init__(self, layer: "DfsLayer", state: DfsFileState) -> None:
-        super().__init__(layer.domain)
-        self.layer = layer
-        self.state = state
-        self.source_key = state.source_key
-        layer.world.charge.fs_open_state()
 
     @operation
     def bind(
@@ -101,55 +84,16 @@ class DfsFile(File):
                 cache_manager, requested_access, offset, length
             )
         layer.world.counters.inc("dfs.bind_served")
-        layer._ensure_down(self.state)
-        return layer.bind_source(
-            self.source_key,
-            cache_manager,
-            requested_access,
-            offset,
-            label=f"dfs:{self.state.under_key}",
+        # P2-C2 up front: remote traffic must participate in the lower
+        # layer's coherency from the first page.
+        layer.ensure_down(self.state)
+        return layer.bind_file(
+            self.state, cache_manager, requested_access, offset, length
         )
 
-    @operation
-    def get_length(self) -> int:
-        return self.state.under_file.get_length()
 
-    @operation
-    def set_length(self, length: int) -> None:
-        self.layer.file_set_length(self.state, length)
-
-    @operation
-    def read(self, offset: int, size: int) -> bytes:
-        return self.layer.file_read(self.state, offset, size)
-
-    @operation
-    def write(self, offset: int, data: bytes) -> int:
-        return self.layer.file_write(self.state, offset, data)
-
-    @operation
-    def get_attributes(self) -> FileAttributes:
-        return self.layer.file_get_attributes(self.state)
-
-    @operation
-    def check_access(self, access: AccessRights) -> None:
-        self.layer.world.charge.fs_access_check()
-
-    @operation
-    def sync(self) -> None:
-        self.state.under_file.sync()
-
-
-class DfsDirectory(NamingContext):
+class DfsDirectory(LayerDirectory):
     """Directory wrapper exporting DFS files (resolvable remotely)."""
-
-    def __init__(self, layer: "DfsLayer", under_context: NamingContext) -> None:
-        super().__init__(layer.domain)
-        self.layer = layer
-        self.under_context = under_context
-
-    @operation
-    def resolve(self, name: str) -> object:
-        return self.layer.wrap_resolved(self.under_context.resolve(name))
 
     @operation
     def open_intent(self, name: str) -> "IntentOpenResult":
@@ -157,43 +101,14 @@ class DfsDirectory(NamingContext):
         (one round trip for a remote client)."""
         return self.layer._open_intent(self.under_context, name)
 
-    @operation
-    def bind(self, name: str, obj: object) -> None:
-        self.under_context.bind(name, obj)
-
-    @operation
-    def unbind(self, name: str) -> object:
-        self.layer.purge_named(self.under_context, name)
-        return self.under_context.unbind(name)
-
-    @operation
-    def rebind(self, name: str, obj: object) -> object:
-        return self.under_context.rebind(name, obj)
-
-    @operation
-    def list_bindings(self):
-        return [
-            (name, self.layer.wrap_resolved(obj, charge_open=False))
-            for name, obj in self.under_context.list_bindings()
-        ]
-
-    @operation
-    def create_file(self, name: str) -> File:
-        return self.layer.wrap_resolved(self.under_context.create_file(name))
-
-    @operation
-    def create_dir(self, name: str) -> "DfsDirectory":
-        return DfsDirectory(self.layer, self.under_context.create_dir(name))
-
-    @operation
-    def rename(self, old_name: str, new_name: str) -> None:
-        self.under_context.rename(old_name, new_name)
-
 
 class DfsLayer(BaseLayer):
     """The DFS server layer; see module docstring."""
 
     max_under = 1
+    state_class = DfsFileState
+    file_class = DfsFile
+    directory_class = DfsDirectory
 
     def __init__(
         self,
@@ -207,27 +122,10 @@ class DfsLayer(BaseLayer):
         #: Coherency policy for remote client channels (sec. 3.3.3: the
         #: protocol is the pager's choice).
         self.protocol = protocol
-        #: Batch per-holder coherency control messages (recalls,
-        #: write-denials, invalidations) into one round trip per remote
-        #: node.  Off by default: calibration is per-message.
         self.compound = compound
-        self._states: Dict[Hashable, DfsFileState] = {}
-        self._states_by_source: Dict[Hashable, DfsFileState] = {}
-
-    def _fanout_region(self):
-        """A compound region around a holder fan-out when batching is on,
-        else a no-op context."""
-        if self.compound:
-            return compound_region(self.world)
-        return contextlib.nullcontext()
 
     def fs_type(self) -> str:
         return "dfs"
-
-    # ------------------------------------------------------------- naming face
-    @operation
-    def resolve(self, name: str) -> object:
-        return self.wrap_resolved(self.under.resolve(name))
 
     @operation
     def open_intent(self, name: str) -> IntentOpenResult:
@@ -248,304 +146,31 @@ class DfsLayer(BaseLayer):
         self.world.counters.inc("dfs.intent_open")
         return IntentOpenResult(DfsFile(self, self._state_for(under_file)), attrs)
 
-    @operation
-    def bind(self, name: str, obj: object) -> None:
-        self.under.bind(name, obj)
-
-    @operation
-    def unbind(self, name: str) -> object:
-        self.purge_named(self.under, name)
-        return self.under.unbind(name)
-
-    @operation
-    def rebind(self, name: str, obj: object) -> object:
-        return self.under.rebind(name, obj)
-
-    @operation
-    def list_bindings(self):
-        return [
-            (name, self.wrap_resolved(obj, charge_open=False))
-            for name, obj in self.under.list_bindings()
-        ]
-
-    @operation
-    def create_file(self, name: str) -> File:
-        return self.wrap_resolved(self.under.create_file(name))
-
-    @operation
-    def create_dir(self, name: str) -> DfsDirectory:
-        return DfsDirectory(self, self.under.create_dir(name))
-
-    @operation
-    def rename(self, old_name: str, new_name: str) -> None:
-        self.under.rename(old_name, new_name)
-
-    # ------------------------------------------------------ unlink hygiene
-    def purge_named(self, under_context, name: str) -> None:
-        """Drop per-file state before an unlink; the freed i-node may be
-        reused and stale cached state must not leak into the new file."""
-        try:
-            obj = under_context.resolve(name)
-        except Exception:
-            return
-        under_file = narrow(obj, File)
-        if under_file is not None:
-            self._purge_state(under_file.source_key)
-
-    def _purge_state(self, under_key) -> None:
-        state = self._states.pop(under_key, None)
-        if state is None:
-            return
-        self._states_by_source.pop(state.source_key, None)
-        state.holders.invalidate(0, 2**62)
-        if state.down_channel is not None and not state.down_channel.closed:
-            state.down_channel.close()
-            state.down_channel = None
-
-    def wrap_resolved(self, obj: object, charge_open: bool = True) -> object:
-        under_file = narrow(obj, File)
-        if under_file is not None:
-            if charge_open:
-                under_file.check_access(AccessRights.READ_ONLY)
-                under_file.get_attributes()
-            state = self._state_for(under_file)
-            if charge_open:
-                return DfsFile(self, state)
-            handle = object.__new__(DfsFile)
-            File.__init__(handle, self.domain)
-            handle.layer = self
-            handle.state = state
-            handle.source_key = state.source_key
-            return handle
-        under_context = narrow(obj, NamingContext)
-        if under_context is not None:
-            return DfsDirectory(self, under_context)
-        return obj
-
-    def _state_for(self, under_file: File) -> DfsFileState:
-        state = self._states.get(under_file.source_key)
-        if state is None:
-            state = DfsFileState(self, under_file)
-            self._states[state.under_key] = state
-            self._states_by_source[state.source_key] = state
-        return state
-
-    def _ensure_down(self, state: DfsFileState) -> None:
-        """Establish P2-C2: DFS as cache manager to the layer below, so
-        remote traffic participates in the lower layer's coherency."""
-        if state.down_channel is None or state.down_channel.closed:
-            state.down_channel = self.bind_below(
-                state, state.under_file, AccessRights.READ_WRITE
-            )
-
     # ------------------------------------------------------------- file ops
     # DFS keeps no data cache of its own: reads and writes are served out
     # of the underlying file after recalling anything remote VMMs hold
     # dirty.  (The paper's DFS maps file_SFS; the effect — data cached on
     # the server by the layer below — is the same.)
-    def _push_recovered(self, state: DfsFileState, recovered: Dict[int, bytes]) -> None:
-        if not recovered:
-            return
-        self._ensure_down(state)
-        run: list = []  # contiguous (index, data) run, pushed as one call
-        for index, data in sorted(recovered.items()):
-            if run and index != run[-1][0] + 1:
-                self._push_run(state, run)
-            run.append((index, data))
-        self._push_run(state, run)
-
-    def _push_run(self, state: DfsFileState, run: list) -> None:
-        if not run:
-            return
-        if len(run) == 1:
-            index, chunk = run[0]
-            state.down_channel.pager_object.page_out(
-                index * PAGE_SIZE, PAGE_SIZE, chunk
-            )
-        else:
-            data = b"".join(chunk for _, chunk in run)
-            state.down_channel.pager_object.page_out_range(
-                run[0][0] * PAGE_SIZE, len(data), data
-            )
-        run.clear()
-
     def file_read(self, state: DfsFileState, offset: int, size: int) -> bytes:
         self.world.charge.fs_read_cpu()
-        with self._fanout_region():
+        with self.fanout_region():
             recovered = state.holders.collect_latest(offset, size)
-            self._push_recovered(state, recovered)
-        data = state.under_file.read(offset, size)
-        return data
+            self.push_recovered(state, recovered)
+        return state.under_file.read(offset, size)
 
     def file_write(self, state: DfsFileState, offset: int, data: bytes) -> int:
         self.world.charge.fs_write_cpu()
-        with self._fanout_region():
+        with self.fanout_region():
             recovered = state.holders.acquire(
                 None, offset, len(data), AccessRights.READ_WRITE
             )
-            self._push_recovered(state, recovered)
+            self.push_recovered(state, recovered)
         return state.under_file.write(offset, data)
 
     def file_set_length(self, state: DfsFileState, length: int) -> None:
-        with self._fanout_region():
+        with self.fanout_region():
             state.holders.invalidate(length, 2**62)
         state.under_file.set_length(length)
-
-    def file_get_attributes(self, state: DfsFileState) -> FileAttributes:
-        self.world.charge.fs_attr_copy()
-        return state.under_file.get_attributes()
-
-    def _sync_impl(self) -> None:
-        pass  # nothing cached here
-
-    # ------------------------------------------------------------- pager hooks
-    # These serve the *remote* clients' channels.
-    def _pager_page_in(
-        self, source_key, pager_object, offset: int, size: int, access: AccessRights
-    ) -> bytes:
-        state = self._states_by_source[source_key]
-        requester = None
-        for channel in self.channels.channels_for(source_key):
-            if channel.pager_object is pager_object:
-                requester = channel
-        with self._fanout_region():
-            recovered = state.holders.acquire(requester, offset, size, access)
-            self._push_recovered(state, recovered)
-        self._ensure_down(state)
-        # Fetch through P2-C2 with the client's access mode so the layer
-        # below runs its own coherency against local holders.
-        return state.down_channel.pager_object.page_in(offset, size, access)
-
-    def _pager_page_in_range(
-        self, source_key, pager_object, offset, min_size, max_size, access
-    ) -> bytes:
-        """Ranged remote page-in: one network round trip returns a whole
-        read-ahead window, fetched from the layer below with clustering."""
-        state = self._states_by_source[source_key]
-        requester = None
-        for channel in self.channels.channels_for(source_key):
-            if channel.pager_object is pager_object:
-                requester = channel
-        file_size = state.under_file.get_length()
-        size = max(0, min(max_size, max(min_size, file_size - offset)))
-        if size == 0:
-            return b""
-        with self._fanout_region():
-            recovered = state.holders.acquire(requester, offset, size, access)
-            self._push_recovered(state, recovered)
-        self._ensure_down(state)
-        return state.down_channel.pager_object.page_in_range(
-            offset, min_size, size, access
-        )
-
-    def _pager_page_out(
-        self, source_key, pager_object, offset: int, size: int, data: bytes, retain
-    ) -> None:
-        state = self._states_by_source[source_key]
-        with self._fanout_region():
-            for channel in self.channels.channels_for(source_key):
-                if channel.pager_object is pager_object:
-                    if retain is None:
-                        state.holders.forget_range(channel, offset, size)
-                    elif retain is AccessRights.READ_ONLY:
-                        state.holders.record(
-                            channel, offset, size, AccessRights.READ_ONLY
-                        )
-                    else:
-                        recovered = state.holders.acquire(
-                            channel, offset, size, AccessRights.READ_WRITE
-                        )
-                        self._push_recovered(state, recovered)
-        self._ensure_down(state)
-        state.down_channel.pager_object.page_out(offset, size, data)
-
-    def _pager_page_out_range(
-        self, source_key, pager_object, offset: int, size: int, data: bytes, retain
-    ) -> None:
-        """Vectored write-back from a remote client: same holder
-        bookkeeping as the single-page hook, then one ranged call below
-        so the batching survives to the disk layer's clustered writes."""
-        state = self._states_by_source[source_key]
-        with self._fanout_region():
-            for channel in self.channels.channels_for(source_key):
-                if channel.pager_object is pager_object:
-                    if retain is None:
-                        state.holders.forget_range(channel, offset, size)
-                    elif retain is AccessRights.READ_ONLY:
-                        state.holders.record(
-                            channel, offset, size, AccessRights.READ_ONLY
-                        )
-                    else:
-                        recovered = state.holders.acquire(
-                            channel, offset, size, AccessRights.READ_WRITE
-                        )
-                        self._push_recovered(state, recovered)
-        self._ensure_down(state)
-        state.down_channel.pager_object.page_out_range(offset, size, data)
-
-    def _pager_attr_page_in(self, source_key, pager_object) -> FileAttributes:
-        state = self._states_by_source[source_key]
-        return state.under_file.get_attributes()
-
-    def _pager_attr_write_out(self, source_key, pager_object, attrs) -> None:
-        state = self._states_by_source[source_key]
-        self._ensure_down(state)
-        pager = self.down_fs_pager(state.down_channel)
-        if pager is not None:
-            pager.attr_write_out(attrs)
-
-    def _on_channel_closed(self, source_key, channel: Channel) -> None:
-        state = self._states_by_source.get(source_key)
-        if state is not None:
-            state.holders.drop_channel(channel)
-
-    # ------------------------------------------- cache hooks (P2-C2 from below)
-    # The layer below needs data or invalidation; DFS holds nothing
-    # itself, so every action is a fan-out to the remote holders over the
-    # network — "any coherency actions taken by DFS through its private
-    # network protocol will be communicated to SFS through the P2-C2
-    # channel", and vice versa.
-    def _cache_flush_back(self, state, offset: int, size: int) -> Dict[int, bytes]:
-        with self._fanout_region():
-            return state.holders.acquire(
-                None, offset, size, AccessRights.READ_WRITE
-            )
-
-    def _cache_deny_writes(self, state, offset: int, size: int) -> Dict[int, bytes]:
-        with self._fanout_region():
-            return state.holders.acquire(
-                None, offset, size, AccessRights.READ_ONLY
-            )
-
-    def _cache_write_back(self, state, offset: int, size: int) -> Dict[int, bytes]:
-        with self._fanout_region():
-            return state.holders.collect_latest(offset, size)
-
-    def _cache_delete_range(self, state, offset: int, size: int) -> None:
-        with self._fanout_region():
-            state.holders.invalidate(offset, size)
-
-    def _cache_zero_fill(self, state, offset: int, size: int) -> None:
-        with self._fanout_region():
-            state.holders.invalidate(offset, size)
-
-    def _cache_populate(self, state, offset, size, access, data) -> None:
-        pass  # nothing cached here
-
-    def _cache_destroy(self, state) -> None:
-        state.holders.invalidate(0, 2**62)
-        state.down_channel = None
-
-    def _cache_invalidate_attributes(self, state) -> None:
-        # Remote attribute caches (CFS instances) must drop their copies.
-        with self._fanout_region():
-            for channel in self.channels.channels_for(state.source_key):
-                fs_cache = narrow(channel.cache_object, FsCache)
-                if fs_cache is not None:
-                    fs_cache.invalidate_attributes()
-
-    def _cache_write_back_attributes(self, state) -> Optional[FileAttributes]:
-        return None
 
 
 def export_dfs(server_node, under_fs, name: str = "dfs", **layer_kwargs) -> DfsLayer:

@@ -38,7 +38,7 @@ from repro.vm.channel import BindResult
 from repro.vm.memory_object import CacheManager
 
 from repro.fs.attributes import FileAttributes
-from repro.fs.base import BaseLayer
+from repro.fs.base import BaseLayer, ChannelOps
 from repro.fs.file import File
 
 
@@ -192,6 +192,63 @@ class DiskDirectory(NamingContext):
         self.layer.volume.rename(self.dir_ino, old_name, self.dir_ino, new_name)
 
 
+class DiskOps(ChannelOps):
+    """Disk-layer dispatch: every op hits the volume; no coherency
+    actions between channels (that is the coherency layer's job)."""
+
+    def _ino_of(self, source_key: Hashable) -> int:
+        return source_key[2]  # ("disk", layer oid, ino)
+
+    def page_in(self, source_key, pager_object, offset, size, access) -> bytes:
+        # Non-coherent by design: no actions against other channels.
+        return self.layer.volume.read_data(self._ino_of(source_key), offset, size)
+
+    def page_in_range(
+        self, source_key, pager_object, offset, min_size, max_size, access
+    ) -> bytes:
+        """Clustering: serve as much of [min, max] as one pass of
+        contiguous multi-block transfers provides — the paper sec. 8
+        'return more data than strictly needed' opportunity.  Short of
+        the minimum only at EOF (callers zero-pad pages)."""
+        return self.layer.volume.read_data_clustered(
+            self._ino_of(source_key), offset, max_size
+        )
+
+    def page_out(self, source_key, pager_object, offset, size, data, retain) -> None:
+        # Page-outs arrive page-padded; never let padding extend the file.
+        # Cache managers push attributes (the authoritative length) before
+        # data, so clamping to the current i-node size is correct.
+        ino = self._ino_of(source_key)
+        file_size = self.layer.volume.iget(ino).size
+        usable = min(size, len(data), max(0, file_size - offset))
+        if usable > 0:
+            self.layer.volume.write_data(ino, offset, data[:usable])
+
+    def page_out_range(
+        self, source_key, pager_object, offset, size, data, retain
+    ) -> None:
+        """Vectored page-out: same clamping as the single-page op, but
+        the device write clusters physically contiguous blocks into
+        multi-block transfers — one seek+rotation per run instead of one
+        per page."""
+        ino = self._ino_of(source_key)
+        file_size = self.layer.volume.iget(ino).size
+        usable = min(size, len(data), max(0, file_size - offset))
+        if usable > 0:
+            self.layer.volume.write_data_clustered(ino, offset, data[:usable])
+
+    def attr_page_in(self, source_key, pager_object) -> FileAttributes:
+        return FileAttributes.from_inode(
+            self.layer.volume.iget(self._ino_of(source_key))
+        )
+
+    def attr_write_out(self, source_key, pager_object, attrs) -> None:
+        ino = self._ino_of(source_key)
+        inode = self.layer.volume.iget(ino)
+        attrs.apply_to_inode(inode)
+        self.layer.volume.mark_dirty(ino)
+
+
 class DiskLayer(BaseLayer):
     """The stackable_fs face of one mounted volume.
 
@@ -200,6 +257,7 @@ class DiskLayer(BaseLayer):
     """
 
     max_under = 0
+    ops_class = DiskOps
 
     def __init__(self, domain, device: BlockDevice, format_device: bool = False):
         super().__init__(domain)
@@ -261,65 +319,6 @@ class DiskLayer(BaseLayer):
     @operation
     def rename(self, old_name: str, new_name: str) -> None:
         self._root.rename(old_name, new_name)
-
-    # --- pager hooks ------------------------------------------------------------------
-    def _ino_of(self, source_key: Hashable) -> int:
-        return source_key[2]  # ("disk", layer oid, ino)
-
-    def _pager_page_in(
-        self, source_key, pager_object, offset: int, size: int, access: AccessRights
-    ) -> bytes:
-        # Non-coherent by design: no actions against other channels.
-        return self.volume.read_data(self._ino_of(source_key), offset, size)
-
-    def _pager_page_in_range(
-        self, source_key, pager_object, offset, min_size, max_size, access
-    ) -> bytes:
-        """Clustering: serve as much of [min, max] as one pass of
-        contiguous multi-block transfers provides — the paper sec. 8
-        'return more data than strictly needed' opportunity."""
-        data = self.volume.read_data_clustered(
-            self._ino_of(source_key), offset, max_size
-        )
-        if len(data) >= min_size:
-            return data
-        # Short of the minimum only at EOF; read_data pads nothing, so
-        # return what exists (callers zero-pad pages).
-        return data
-
-    def _pager_page_out(
-        self, source_key, pager_object, offset: int, size: int, data: bytes, retain
-    ) -> None:
-        # Page-outs arrive page-padded; never let padding extend the file.
-        # Cache managers push attributes (the authoritative length) before
-        # data, so clamping to the current i-node size is correct.
-        ino = self._ino_of(source_key)
-        file_size = self.volume.iget(ino).size
-        usable = min(size, len(data), max(0, file_size - offset))
-        if usable > 0:
-            self.volume.write_data(ino, offset, data[:usable])
-
-    def _pager_page_out_range(
-        self, source_key, pager_object, offset: int, size: int, data: bytes, retain
-    ) -> None:
-        """Vectored page-out: same clamping as the single-page hook, but
-        the device write clusters physically contiguous blocks into
-        multi-block transfers — one seek+rotation per run instead of one
-        per page."""
-        ino = self._ino_of(source_key)
-        file_size = self.volume.iget(ino).size
-        usable = min(size, len(data), max(0, file_size - offset))
-        if usable > 0:
-            self.volume.write_data_clustered(ino, offset, data[:usable])
-
-    def _pager_attr_page_in(self, source_key, pager_object) -> FileAttributes:
-        return FileAttributes.from_inode(self.volume.iget(self._ino_of(source_key)))
-
-    def _pager_attr_write_out(self, source_key, pager_object, attrs) -> None:
-        ino = self._ino_of(source_key)
-        inode = self.volume.iget(ino)
-        attrs.apply_to_inode(inode)
-        self.volume.mark_dirty(ino)
 
     # --- fs ------------------------------------------------------------------------------
     def _sync_impl(self) -> None:

@@ -13,7 +13,7 @@ differences isolate exactly the cost of stacking.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Optional
+from typing import Dict, Hashable
 
 from repro.errors import FsError, IsADirectoryError_
 from repro.ipc.invocation import operation
@@ -27,8 +27,8 @@ from repro.vm.channel import BindResult
 from repro.vm.memory_object import CacheManager
 from repro.vm.page import CachedPage, PageStore
 
-from repro.fs.attributes import CachedAttributes, FileAttributes
-from repro.fs.base import BaseLayer
+from repro.fs.attributes import FileAttributes
+from repro.fs.base import BaseLayer, ChannelOps
 from repro.fs.file import File
 from repro.fs.holders import BlockHolderTable
 
@@ -151,10 +151,56 @@ class MonoDirectory(NamingContext):
         self.fs.volume.rename(self.dir_ino, old_name, self.dir_ino, new_name)
 
 
+class MonoOps(ChannelOps):
+    """Channel ops serving the VMM straight from the fused cache+volume.
+
+    Only the four leaf transforms are written out; the ranged ops fold
+    onto them via the spine's defaults, exactly as a stacked SFS's
+    bottom layer would behave without clustering."""
+
+    def state(self, source_key):
+        # source_key is ("mono", oid, ino); state is created on demand so
+        # a mapping faulted before any read/write still finds its cache.
+        return self.layer._state(source_key[2])
+
+    def merge_recovered(self, state, recovered: Dict[int, bytes]) -> None:
+        self.layer._merge(state, recovered)
+
+    def page_in(self, source_key, pager_object, offset, size, access) -> bytes:
+        fs = self.layer
+        state = self.state(source_key)
+        requester = self.requester(source_key, pager_object)
+        recovered = state.holders.acquire(requester, offset, size, access)
+        self.merge_recovered(state, recovered)
+        if fs.cache_enabled:
+            return state.store.read(offset, size, fs._fault_from_disk(state.ino))
+        return fs.volume.read_data(state.ino, offset, size)
+
+    def page_out(self, source_key, pager_object, offset, size, data, retain) -> None:
+        state = self.state(source_key)
+        requester = self.requester(source_key, pager_object)
+        self.writeback_bookkeeping(state, requester, offset, size, retain)
+        pages = {
+            index: data[i * PAGE_SIZE : (i + 1) * PAGE_SIZE]
+            for i, index in enumerate(page_range(offset, size))
+        }
+        self.merge_recovered(state, pages)
+
+    def attr_page_in(self, source_key, pager_object) -> FileAttributes:
+        state = self.state(source_key)
+        return FileAttributes.from_inode(self.layer.volume.iget(state.ino))
+
+    def attr_write_out(self, source_key, pager_object, attrs) -> None:
+        state = self.state(source_key)
+        attrs.apply_to_inode(self.layer.volume.iget(state.ino))
+        self.layer.volume.mark_dirty(state.ino)
+
+
 class MonolithicSfs(BaseLayer):
     """Single-layer SFS: volume + cache + coherency fused."""
 
     max_under = 0
+    ops_class = MonoOps
 
     def __init__(self, domain, device: BlockDevice, format_device: bool = False,
                  cache: bool = True) -> None:
@@ -332,58 +378,6 @@ class MonolithicSfs(BaseLayer):
                 usable = min(PAGE_SIZE, max(0, size - offset))
                 if usable:
                     self.volume.write_data(state.ino, offset, data[:usable])
-
-    # ----------------------------------------------------------- pager hooks
-    def _pager_page_in(
-        self, source_key, pager_object, offset: int, size: int, access: AccessRights
-    ) -> bytes:
-        state = self._states_by_source[source_key]
-        requester = None
-        for channel in self.channels.channels_for(source_key):
-            if channel.pager_object is pager_object:
-                requester = channel
-        recovered = state.holders.acquire(requester, offset, size, access)
-        self._merge(state, recovered)
-        if self.cache_enabled:
-            return state.store.read(offset, size, self._fault_from_disk(state.ino))
-        return self.volume.read_data(state.ino, offset, size)
-
-    def _pager_page_out(
-        self, source_key, pager_object, offset: int, size: int, data: bytes, retain
-    ) -> None:
-        state = self._states_by_source[source_key]
-        for channel in self.channels.channels_for(source_key):
-            if channel.pager_object is pager_object:
-                if retain is None:
-                    state.holders.forget_range(channel, offset, size)
-                elif retain is AccessRights.READ_ONLY:
-                    state.holders.record(
-                        channel, offset, size, AccessRights.READ_ONLY
-                    )
-                else:
-                    recovered = state.holders.acquire(
-                        channel, offset, size, AccessRights.READ_WRITE
-                    )
-                    self._merge(state, recovered)
-        pages = {
-            index: data[i * PAGE_SIZE : (i + 1) * PAGE_SIZE]
-            for i, index in enumerate(page_range(offset, size))
-        }
-        self._merge(state, pages)
-
-    def _pager_attr_page_in(self, source_key, pager_object) -> FileAttributes:
-        state = self._states_by_source[source_key]
-        return FileAttributes.from_inode(self.volume.iget(state.ino))
-
-    def _pager_attr_write_out(self, source_key, pager_object, attrs) -> None:
-        state = self._states_by_source[source_key]
-        attrs.apply_to_inode(self.volume.iget(state.ino))
-        self.volume.mark_dirty(state.ino)
-
-    def _on_channel_closed(self, source_key, channel) -> None:
-        state = self._states_by_source.get(source_key)
-        if state is not None:
-            state.holders.drop_channel(channel)
 
     def _sync_impl(self) -> None:
         for ino in list(self._states):

@@ -4,13 +4,14 @@ The smallest possible stackable file system: it adds no functionality at
 all.  It exists for two reasons:
 
 * as the worked example for layer authors (see docs/WRITING_A_LAYER.md):
-  every structural obligation of a layer — wrapping resolution, the
-  naming face, bind handling — with nothing else in the way;
-* as the measuring stick for pure layering overhead: NULLFS forwards
-  ``bind`` to the underlying file, so mapped I/O through it is *free*
-  (the local VMM talks straight to the underlying pager — the same
-  mechanism DFS uses for local clients), and read/write pay exactly one
-  forwarding hop.
+  with the generic runtime in ``fs/base.py`` supplying the naming face,
+  the forwarding file handles, and the channel dispatch spine, a
+  pass-through layer is nothing but a name;
+* as the measuring stick for pure layering overhead: the generic
+  :class:`~repro.fs.base.ForwardingFile` forwards ``bind`` to the
+  underlying file, so mapped I/O through NULLFS is *free* (the local VMM
+  talks straight to the underlying pager — the same mechanism DFS uses
+  for local clients), and read/write pay exactly one forwarding hop.
 
 This is the Spring analogue of the classic BSD nullfs / loopback vnode
 layer the paper's related-work section situates itself against.
@@ -18,171 +19,22 @@ layer the paper's related-work section situates itself against.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable
-
-from repro.ipc.invocation import operation
-from repro.ipc.narrow import narrow
-from repro.naming.context import NamingContext
-from repro.types import AccessRights
-from repro.vm.channel import BindResult
-from repro.vm.memory_object import CacheManager
-
-from repro.fs.attributes import FileAttributes
-from repro.fs.base import BaseLayer
-from repro.fs.file import File
+from repro.fs.base import BaseLayer, ForwardingFile, LayerDirectory
 
 
-class NullFile(File):
-    """A pass-through handle: every operation forwards to the underlying
-    file; binds are forwarded so mappings bypass NULLFS entirely."""
-
-    def __init__(self, layer: "NullFs", under_file: File) -> None:
-        super().__init__(layer.domain)
-        self.layer = layer
-        self.under_file = under_file
-        self.source_key: Hashable = ("nullfs", layer.oid, under_file.source_key)
-        layer.world.charge.fs_open_state()
-
-    @operation
-    def bind(
-        self,
-        cache_manager: CacheManager,
-        requested_access: AccessRights,
-        offset: int,
-        length: int,
-    ) -> BindResult:
-        # Identity data => share the underlying cache (paper sec. 4.2.2).
-        self.layer.world.counters.inc("nullfs.bind_forwarded")
-        return self.under_file.bind(cache_manager, requested_access, offset, length)
-
-    @operation
-    def get_length(self) -> int:
-        return self.under_file.get_length()
-
-    @operation
-    def set_length(self, length: int) -> None:
-        self.under_file.set_length(length)
-
-    @operation
-    def read(self, offset: int, size: int) -> bytes:
-        return self.under_file.read(offset, size)
-
-    @operation
-    def write(self, offset: int, data: bytes) -> int:
-        return self.under_file.write(offset, data)
-
-    @operation
-    def get_attributes(self) -> FileAttributes:
-        return self.under_file.get_attributes()
-
-    @operation
-    def check_access(self, access: AccessRights) -> None:
-        self.under_file.check_access(access)
-
-    @operation
-    def sync(self) -> None:
-        self.under_file.sync()
+class NullFile(ForwardingFile):
+    """A pass-through handle; everything comes from ForwardingFile."""
 
 
-class NullDirectory(NamingContext):
-    def __init__(self, layer: "NullFs", under_context: NamingContext) -> None:
-        super().__init__(layer.domain)
-        self.layer = layer
-        self.under_context = under_context
-
-    @operation
-    def resolve(self, name: str) -> object:
-        return self.layer.wrap_resolved(self.under_context.resolve(name))
-
-    @operation
-    def bind(self, name: str, obj: object) -> None:
-        self.under_context.bind(name, obj)
-
-    @operation
-    def unbind(self, name: str) -> object:
-        return self.under_context.unbind(name)
-
-    @operation
-    def rebind(self, name: str, obj: object) -> object:
-        return self.under_context.rebind(name, obj)
-
-    @operation
-    def list_bindings(self):
-        return [
-            (name, self.layer.wrap_resolved(obj, charge_open=False))
-            for name, obj in self.under_context.list_bindings()
-        ]
-
-    @operation
-    def create_file(self, name: str) -> File:
-        return self.layer.wrap_resolved(self.under_context.create_file(name))
-
-    @operation
-    def create_dir(self, name: str) -> "NullDirectory":
-        return NullDirectory(self.layer, self.under_context.create_dir(name))
-
-    @operation
-    def rename(self, old_name: str, new_name: str) -> None:
-        self.under_context.rename(old_name, new_name)
+class NullDirectory(LayerDirectory):
+    """A pass-through directory; everything comes from LayerDirectory."""
 
 
 class NullFs(BaseLayer):
     """See module docstring."""
 
-    max_under = 1
+    file_class = NullFile
+    directory_class = NullDirectory
 
     def fs_type(self) -> str:
         return "nullfs"
-
-    @operation
-    def resolve(self, name: str) -> object:
-        return self.wrap_resolved(self.under.resolve(name))
-
-    @operation
-    def bind(self, name: str, obj: object) -> None:
-        self.under.bind(name, obj)
-
-    @operation
-    def unbind(self, name: str) -> object:
-        return self.under.unbind(name)
-
-    @operation
-    def rebind(self, name: str, obj: object) -> object:
-        return self.under.rebind(name, obj)
-
-    @operation
-    def list_bindings(self):
-        return [
-            (name, self.wrap_resolved(obj, charge_open=False))
-            for name, obj in self.under.list_bindings()
-        ]
-
-    @operation
-    def create_file(self, name: str) -> File:
-        return self.wrap_resolved(self.under.create_file(name))
-
-    @operation
-    def create_dir(self, name: str) -> NullDirectory:
-        return NullDirectory(self, self.under.create_dir(name))
-
-    @operation
-    def rename(self, old_name: str, new_name: str) -> None:
-        self.under.rename(old_name, new_name)
-
-    def wrap_resolved(self, obj: object, charge_open: bool = True) -> object:
-        under_file = narrow(obj, File)
-        if under_file is not None:
-            if charge_open:
-                under_file.check_access(AccessRights.READ_ONLY)
-                under_file.get_attributes()
-                return NullFile(self, under_file)
-            handle = object.__new__(NullFile)
-            File.__init__(handle, self.domain)
-            handle.layer = self
-            handle.under_file = under_file
-            handle.source_key = ("nullfs", self.oid, under_file.source_key)
-            return handle
-        under_context = narrow(obj, NamingContext)
-        if under_context is not None:
-            return NullDirectory(self, under_context)
-        return obj

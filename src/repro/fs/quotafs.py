@@ -14,22 +14,21 @@ Accounting notes:
 * mappings are granted read-only unless the quota has headroom for the
   mapped range — a writable mapping could otherwise bypass the check
   (same reasoning as TransformFile denying mappings, sec. 5).
+
+As a layer it is the generic pass-through plus three interceptions on
+the file face (bind / write / set_length) and a refunding unlink.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable
-
 from repro.errors import FsError, NoSpaceError
 from repro.ipc.invocation import operation
 from repro.ipc.narrow import narrow
-from repro.naming.context import NamingContext
 from repro.types import AccessRights
 from repro.vm.channel import BindResult
 from repro.vm.memory_object import CacheManager
 
-from repro.fs.attributes import FileAttributes
-from repro.fs.base import BaseLayer
+from repro.fs.base import BaseLayer, ForwardingFile, LayerDirectory
 from repro.fs.file import File
 
 
@@ -37,14 +36,7 @@ class QuotaExceededError(NoSpaceError):
     """The write would exceed the layer's byte budget (EDQUOT)."""
 
 
-class QuotaFile(File):
-    def __init__(self, layer: "QuotaFs", under_file: File) -> None:
-        super().__init__(layer.domain)
-        self.layer = layer
-        self.under_file = under_file
-        self.source_key: Hashable = ("quotafs", layer.oid, under_file.source_key)
-        layer.world.charge.fs_open_state()
-
+class QuotaFile(ForwardingFile):
     @operation
     def bind(
         self,
@@ -57,88 +49,35 @@ class QuotaFile(File):
             raise QuotaExceededError(
                 "writable mapping denied: quota exhausted"
             )
-        return self.under_file.bind(cache_manager, requested_access, offset, length)
-
-    @operation
-    def get_length(self) -> int:
-        return self.under_file.get_length()
+        return self.state.under_file.bind(
+            cache_manager, requested_access, offset, length
+        )
 
     @operation
     def set_length(self, length: int) -> None:
-        old = self.under_file.get_length()
+        old = self.state.under_file.get_length()
         self.layer.charge_growth(length - old)
-        self.under_file.set_length(length)
-
-    @operation
-    def read(self, offset: int, size: int) -> bytes:
-        return self.under_file.read(offset, size)
+        self.state.under_file.set_length(length)
 
     @operation
     def write(self, offset: int, data: bytes) -> int:
-        old = self.under_file.get_length()
+        old = self.state.under_file.get_length()
         growth = max(0, offset + len(data) - old)
         self.layer.charge_growth(growth)
-        return self.under_file.write(offset, data)
-
-    @operation
-    def get_attributes(self) -> FileAttributes:
-        return self.under_file.get_attributes()
-
-    @operation
-    def check_access(self, access: AccessRights) -> None:
-        self.under_file.check_access(access)
-
-    @operation
-    def sync(self) -> None:
-        self.under_file.sync()
+        return self.state.under_file.write(offset, data)
 
 
-class QuotaDirectory(NamingContext):
-    def __init__(self, layer: "QuotaFs", under_context: NamingContext) -> None:
-        super().__init__(layer.domain)
-        self.layer = layer
-        self.under_context = under_context
-
-    @operation
-    def resolve(self, name: str) -> object:
-        return self.layer.wrap_resolved(self.under_context.resolve(name))
-
-    @operation
-    def bind(self, name: str, obj: object) -> None:
-        self.under_context.bind(name, obj)
-
+class QuotaDirectory(LayerDirectory):
     @operation
     def unbind(self, name: str) -> object:
         return self.layer.unbind_in(self.under_context, name)
-
-    @operation
-    def rebind(self, name: str, obj: object) -> object:
-        return self.under_context.rebind(name, obj)
-
-    @operation
-    def list_bindings(self):
-        return [
-            (name, self.layer.wrap_resolved(obj, charge_open=False))
-            for name, obj in self.under_context.list_bindings()
-        ]
-
-    @operation
-    def create_file(self, name: str) -> File:
-        return self.layer.wrap_resolved(self.under_context.create_file(name))
-
-    @operation
-    def create_dir(self, name: str) -> "QuotaDirectory":
-        return QuotaDirectory(self.layer, self.under_context.create_dir(name))
-
-    @operation
-    def rename(self, old_name: str, new_name: str) -> None:
-        self.under_context.rename(old_name, new_name)
 
 
 class QuotaFs(BaseLayer):
     """See module docstring."""
 
-    max_under = 1
+    file_class = QuotaFile
+    directory_class = QuotaDirectory
 
     def __init__(self, domain, budget_bytes: int) -> None:
         super().__init__(domain)
@@ -179,56 +118,6 @@ class QuotaFs(BaseLayer):
         self.charge_growth(-size)
         return result
 
-    # --- naming face ------------------------------------------------------
-    @operation
-    def resolve(self, name: str) -> object:
-        return self.wrap_resolved(self.under.resolve(name))
-
-    @operation
-    def bind(self, name: str, obj: object) -> None:
-        self.under.bind(name, obj)
-
     @operation
     def unbind(self, name: str) -> object:
         return self.unbind_in(self.under, name)
-
-    @operation
-    def rebind(self, name: str, obj: object) -> object:
-        return self.under.rebind(name, obj)
-
-    @operation
-    def list_bindings(self):
-        return [
-            (name, self.wrap_resolved(obj, charge_open=False))
-            for name, obj in self.under.list_bindings()
-        ]
-
-    @operation
-    def create_file(self, name: str) -> File:
-        return self.wrap_resolved(self.under.create_file(name))
-
-    @operation
-    def create_dir(self, name: str) -> QuotaDirectory:
-        return QuotaDirectory(self, self.under.create_dir(name))
-
-    @operation
-    def rename(self, old_name: str, new_name: str) -> None:
-        self.under.rename(old_name, new_name)
-
-    def wrap_resolved(self, obj: object, charge_open: bool = True) -> object:
-        under_file = narrow(obj, File)
-        if under_file is not None:
-            if charge_open:
-                under_file.check_access(AccessRights.READ_ONLY)
-                under_file.get_attributes()
-                return QuotaFile(self, under_file)
-            handle = object.__new__(QuotaFile)
-            File.__init__(handle, self.domain)
-            handle.layer = self
-            handle.under_file = under_file
-            handle.source_key = ("quotafs", self.oid, under_file.source_key)
-            return handle
-        under_context = narrow(obj, NamingContext)
-        if under_context is not None:
-            return QuotaDirectory(self, under_context)
-        return obj

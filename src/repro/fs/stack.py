@@ -7,7 +7,7 @@ layer placement.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List, Tuple
 
 from repro.fs.fs_interfaces import StackableFs
 
@@ -66,6 +66,52 @@ def nodes_of(top: StackableFs) -> List[str]:
         if name not in seen:
             seen.append(name)
     return seen
+
+
+def layer_op_breakdown(
+    top: StackableFs,
+) -> List[Tuple[str, int, Dict[str, Tuple[int, int]]]]:
+    """Per-layer channel-op telemetry, top layer first.
+
+    Every op dispatched through the spine is recorded exactly once under
+    its layer's ``<layer>.<op>`` counter (plus ``<layer>.<op>.bytes`` for
+    data-carrying ops), so this is a complete census of the channel
+    traffic each layer saw.  Returns ``(fs_type, depth, ops)`` rows where
+    ``ops`` maps op name to ``(count, bytes)``; ops never dispatched are
+    omitted.
+    """
+    from repro.fs.base import BaseLayer
+
+    rows: List[Tuple[str, int, Dict[str, Tuple[int, int]]]] = []
+    for layer in stack_layers(top):
+        if not isinstance(layer, BaseLayer):
+            continue
+        counters = layer.world.counters
+        runtime = layer.runtime
+        ops: Dict[str, Tuple[int, int]] = {}
+        for op, key in runtime.count_keys.items():
+            count = counters.get(key)
+            if count:
+                ops[op] = (count, counters.get(runtime.byte_keys[op]))
+        rows.append((layer.fs_type(), runtime.depth, ops))
+    return rows
+
+
+def render_layer_breakdown(top: StackableFs) -> str:
+    """The per-layer op/byte breakdown as a printable table — one block
+    per layer, one line per channel op it dispatched."""
+    lines: List[str] = []
+    for fs_type, depth, ops in layer_op_breakdown(top):
+        lines.append(f"{fs_type} (depth {depth})")
+        if not ops:
+            lines.append("    (no channel traffic)")
+        for op in sorted(ops):
+            count, nbytes = ops[op]
+            line = f"    {fs_type + '.' + op:<34} {count:>8}"
+            if nbytes:
+                line += f"  {nbytes:>12} bytes"
+            lines.append(line)
+    return "\n".join(lines)
 
 
 def remote_boundaries(top: StackableFs) -> int:

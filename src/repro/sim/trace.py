@@ -45,9 +45,22 @@ class Tracer:
     def record(
         self, time_us: float, category: str, name: str, **detail: object
     ) -> None:
+        """Append one event to the ring.
+
+        ``seq`` is a global event id: it advances for *every* record,
+        including ones whose append immediately evicts an older event,
+        so gaps never appear and renderings stay ordered across drops.
+        ``dropped`` counts evictions — the increment happens before the
+        deque evicts, when the buffer is already full — so after any
+        sequence of records (with no ``clear``) the invariants hold::
+
+            len(tracer) == min(total_records, capacity)
+            dropped     == max(0, total_records - capacity)
+            events()[0].seq == dropped + 1   # oldest retained event
+        """
+        self._seq += 1
         if len(self._events) == self.capacity:
             self.dropped += 1
-        self._seq += 1
         self._events.append(TraceEvent(self._seq, time_us, category, name, detail))
 
     # --- querying ----------------------------------------------------------

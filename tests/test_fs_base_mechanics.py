@@ -141,9 +141,10 @@ class TestSyncPropagation:
         # COMPFS flushed (compressed image) AND the SFS pushed it down.
         assert volume.iget(ino).size > 0
 
-    def test_pager_hooks_unimplemented_by_default(self, node):
-        """A layer that declares no pager role fails loudly, not
-        silently, if something binds to it."""
+    def test_pager_ops_fail_loudly_for_unknown_source(self, node):
+        """Channel ops on a source the layer never opened fail loudly
+        (no silent default), not silently, if something binds to it."""
+        from repro.errors import FsError
         from repro.fs.base import BaseLayer, LayerPagerObject
 
         class InertLayer(BaseLayer):
@@ -167,7 +168,7 @@ class TestSyncPropagation:
 
         layer = InertLayer(node.create_domain("inert"))
         pager = LayerPagerObject(layer.domain, layer, "src")
-        with pytest.raises(NotImplementedError):
+        with pytest.raises(FsError):
             pager.page_in(0, PAGE_SIZE, AccessRights.READ_ONLY)
-        with pytest.raises(NotImplementedError):
+        with pytest.raises(FsError):
             pager.attr_page_in()

@@ -228,7 +228,7 @@ class TestCacheHooksFromBelow:
             f = fs.top.resolve("data.bin")
             f.write(0, b"DIRTY")
         state = next(iter(coherency._states.values()))
-        modified = coherency._cache_flush_back(state, 0, PAGE_SIZE)
+        modified = coherency.ops.flush_back(state, 0, PAGE_SIZE)
         assert modified[0][:5] == b"DIRTY"
         assert 0 not in state.store
 
@@ -238,7 +238,7 @@ class TestCacheHooksFromBelow:
             f = fs.top.resolve("data.bin")
             f.write(0, b"DOWNGRADE")
         state = next(iter(coherency._states.values()))
-        modified = coherency._cache_deny_writes(state, 0, PAGE_SIZE)
+        modified = coherency.ops.deny_writes(state, 0, PAGE_SIZE)
         assert modified[0][:9] == b"DOWNGRADE"
         assert state.store.get(0).rights is RO
 
@@ -248,7 +248,7 @@ class TestCacheHooksFromBelow:
             fs.top.resolve("data.bin").get_attributes()
         state = next(iter(coherency._states.values()))
         assert state.attrs is not None
-        coherency._cache_invalidate_attributes(state)
+        coherency.ops.invalidate_attributes(state)
         assert state.attrs is None
 
 

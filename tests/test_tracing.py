@@ -26,6 +26,39 @@ class TestTracerUnit:
         assert tracer.names() == ["e2", "e3", "e4"]
         assert tracer.dropped == 2
 
+    def test_drop_accounting_invariants(self):
+        """seq advances for every record (even evicting ones); dropped
+        counts exactly the evictions; the oldest retained event's seq is
+        always dropped + 1 — the documented Tracer.record contract."""
+        tracer = Tracer(capacity=3)
+        for total in range(1, 10):
+            tracer.record(float(total), "x", f"e{total}")
+            assert len(tracer) == min(total, 3)
+            assert tracer.dropped == max(0, total - 3)
+            events = tracer.events()
+            assert events[0].seq == tracer.dropped + 1
+            assert events[-1].seq == total  # no seq reuse across drops
+            assert [e.seq for e in events] == list(
+                range(events[0].seq, total + 1)
+            )
+
+    def test_seq_is_global_across_clear(self):
+        """clear() empties the ring and resets dropped, but the global
+        event id keeps advancing — ids are never reissued."""
+        tracer = Tracer(capacity=2)
+        for i in range(5):
+            tracer.record(float(i), "x", f"e{i}")
+        tracer.clear()
+        assert tracer.dropped == 0
+        tracer.record(9.0, "x", "after")
+        assert tracer.events()[0].seq == 6
+
+    def test_render_reports_drop_count(self):
+        tracer = Tracer(capacity=2)
+        for i in range(5):
+            tracer.record(float(i), "x", f"e{i}")
+        assert "(3 earlier events dropped)" in tracer.render()
+
     def test_category_filter(self):
         tracer = Tracer()
         tracer.record(0, "invoke", "a")

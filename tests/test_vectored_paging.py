@@ -230,11 +230,11 @@ class TestRangedSyncThroughStack:
             mapping.write(0, payload)
 
             node.vmm.batch_pageout = True
-            per_page_before = world.counters.get("coherency.sync_op")
+            per_page_before = world.counters.get("coherency.sync")
             mapping.cache.sync()
             # One ranged call for the whole 4-page run, zero per-page ones.
             assert world.counters.get("coherency.sync_range") == 1
-            assert world.counters.get("coherency.sync_op") == per_page_before
+            assert world.counters.get("coherency.sync") == per_page_before
 
             stack.coherency_layer.batch_pageout = True
             stack.top.resolve("v.dat").sync()
