@@ -1,0 +1,65 @@
+"""Golden render drift check.
+
+Re-renders the quick Table 2 / Table 3 calibration tables and diffs them
+against the committed goldens under ``tests/golden/``.  The tier-1 suite
+already asserts byte equality; this script exists for CI to print a
+*readable* unified diff when they drift, so the culprit change is
+obvious from the job log instead of a bare assertion failure.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src:. python benchmarks/check_golden_drift.py
+"""
+
+import difflib
+import os
+import pathlib
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+
+from benchmarks.emit_common import ensure_repo_on_path
+
+ensure_repo_on_path()
+
+GOLDEN = pathlib.Path(__file__).resolve().parent.parent / "tests" / "golden"
+
+
+def renders():
+    from repro.bench.table2 import run_table2
+    from repro.bench.table3 import run_table3
+
+    yield "table2_quick.txt", run_table2(iterations=5, runs=1).render() + "\n"
+    yield "table3_quick.txt", run_table3(iterations=5, runs=1).render() + "\n"
+
+
+def main() -> int:
+    drifted = 0
+    for name, fresh in renders():
+        committed = (GOLDEN / name).read_text()
+        if fresh == committed:
+            print(f"  [  ok] tests/golden/{name} ({len(fresh)} bytes)")
+            continue
+        drifted += 1
+        print(f"  [FAIL] tests/golden/{name} drifted:")
+        sys.stdout.writelines(
+            difflib.unified_diff(
+                committed.splitlines(keepends=True),
+                fresh.splitlines(keepends=True),
+                fromfile=f"tests/golden/{name} (committed)",
+                tofile=f"{name} (re-rendered)",
+            )
+        )
+    if drifted:
+        print(
+            f"\ngolden drift: {drifted} render(s) no longer match.  If the "
+            "change is intentional, regenerate the goldens and commit them "
+            "with an explanation of what moved."
+        )
+        return 1
+    print("\ngolden renders match the committed files.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

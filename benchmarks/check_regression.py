@@ -1,0 +1,117 @@
+"""Benchmark regression gate.
+
+Rebuilds each benchmark record fresh (the simulation is deterministic,
+so a clean tree reproduces the committed bytes exactly) and compares the
+*headline* metrics against the committed ``BENCH_*.json``.  The gate
+fails when a metric is more than 10% worse than the committed value —
+which catches both genuine performance regressions and records someone
+forgot to re-emit after changing the cost model.
+
+Headline metrics:
+
+* ``BENCH_ipc.json`` — messages and elapsed time of the compound /
+  name-cache cells (the point of the compound-invocation work).
+* ``BENCH_paging.json`` — batched flush time and device writes (the
+  point of the vectored-paging work).
+* ``BENCH_faults.json`` — knobs-on availability and workload time under
+  the reference fault schedule (the point of the fault-tolerance work).
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src:. python benchmarks/check_regression.py [--tolerance 0.10]
+"""
+
+import argparse
+import importlib
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+
+from benchmarks.emit_common import BENCH_DIR, ensure_repo_on_path
+
+ensure_repo_on_path()
+
+#: (committed file, emitter module, dotted metric path, direction).
+#: ``lower`` metrics regress upward; ``higher`` metrics regress downward.
+HEADLINE = [
+    ("BENCH_ipc.json", "benchmarks.emit_bench_ipc",
+     "cells.compound.messages", "lower"),
+    ("BENCH_ipc.json", "benchmarks.emit_bench_ipc",
+     "cells.namecache+compound.messages", "lower"),
+    ("BENCH_ipc.json", "benchmarks.emit_bench_ipc",
+     "cells.namecache+compound.elapsed_ms", "lower"),
+    ("BENCH_paging.json", "benchmarks.emit_bench_paging",
+     "vectored_flush.batched.elapsed_ms", "lower"),
+    ("BENCH_paging.json", "benchmarks.emit_bench_paging",
+     "vectored_flush.batched.device_writes", "lower"),
+    ("BENCH_faults.json", "benchmarks.bench_fault_recovery",
+     "cells.knobs_on.availability_pct", "higher"),
+    ("BENCH_faults.json", "benchmarks.bench_fault_recovery",
+     "cells.knobs_on.elapsed_ms", "lower"),
+]
+
+
+def dig(record: dict, path: str):
+    value = record
+    for key in path.split("."):
+        value = value[key]
+    return value
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="allowed fractional regression before failing (default 0.10)",
+    )
+    args = parser.parse_args(argv)
+
+    rebuilt = {}  # emitter module -> freshly built record
+    failures = []
+    for filename, module_name, path, direction in HEADLINE:
+        with open(os.path.join(BENCH_DIR, filename)) as fh:
+            committed = dig(json.load(fh), path)
+        if module_name not in rebuilt:
+            rebuilt[module_name] = importlib.import_module(
+                module_name
+            ).build_record()
+        current = dig(rebuilt[module_name], path)
+        if direction == "lower":
+            regressed = current > committed * (1 + args.tolerance)
+        else:
+            regressed = current < committed * (1 - args.tolerance)
+        delta_pct = (
+            100.0 * (current - committed) / committed if committed else 0.0
+        )
+        status = "FAIL" if regressed else "ok"
+        print(
+            f"  [{status:>4}] {filename}:{path}  "
+            f"committed={committed} current={current} ({delta_pct:+.1f}%)"
+        )
+        if regressed:
+            failures.append((filename, path, committed, current))
+
+    if failures:
+        print(
+            f"\nregression gate FAILED: {len(failures)} headline metric(s) "
+            f"worse than committed by more than {args.tolerance:.0%}."
+        )
+        print(
+            "If the change is intentional, re-emit the affected records "
+            "(PYTHONPATH=src:. python benchmarks/<emitter>.py) and commit "
+            "the new baselines with an explanation."
+        )
+        return 1
+    print(
+        f"\nregression gate OK: {len(HEADLINE)} headline metrics within "
+        f"{args.tolerance:.0%} of committed baselines."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,24 @@ class InvocationError(SpringError):
     """An object invocation could not be carried out."""
 
 
+class TransientNetworkError(InvocationError):
+    """A cross-node invocation failed for a reason that may heal with
+    time: a partitioned link, a crashed-but-recovering node, a dropped
+    message.  :class:`repro.ipc.retry.RetryPolicy` retries exactly this
+    family; permanent failures (revocation, bad arguments) never match.
+    """
+
+
+class NodeCrashedError(TransientNetworkError):
+    """The source or destination node of a message is crashed (see
+    :meth:`repro.ipc.node.Node.crash`).  Heals when the node recovers."""
+
+
+class MessageDroppedError(TransientNetworkError):
+    """The fault plane dropped this message in flight (scheduled or
+    probabilistic drop); the sender sees a timeout and may retry."""
+
+
 class RevokedObjectError(InvocationError):
     """The target object's server has destroyed or revoked the object."""
 

@@ -524,6 +524,22 @@ class LayerFsCache(FsCache):
         layer.runtime.record("write_back_attributes")
         return layer.ops.write_back_attributes(self.state)
 
+    @operation
+    def held_blocks(self) -> Optional[Dict[int, Tuple[bool, bool]]]:
+        """Re-declare this layer's cached pages to a recovering lower
+        pager.  Reports from the state's page store when the layer keeps
+        one (``store`` — coherency, monolithic; ``plain`` — CFS,
+        CRYPTFS); a layer with no data cache of its own holds nothing."""
+        store = getattr(self.state, "store", None)
+        if store is None:
+            store = getattr(self.state, "plain", None)
+        if store is None:
+            return None
+        return {
+            index: (page.rights.writable, page.dirty)
+            for index, page in store.pages()
+        }
+
 
 class LayerFileState:
     """Generic per-file state a layer keeps for one underlying file.

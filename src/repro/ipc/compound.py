@@ -99,12 +99,19 @@ class CompoundRegion:
 
     def flush(self) -> None:
         """Charge one round trip per destination carrying the summed
-        request payload."""
+        request payload.
+
+        Delivery was already validated when each sub-op was *absorbed*
+        (reachability is checked before the op body runs), so the flush
+        charges those sends without re-checking: a fault-plane partition
+        that arrives between absorption and flush must not retroactively
+        "unsend" messages whose operations already executed server-side.
+        """
         counters = self.world.counters
         for (src, dst), (nops, nbytes) in self._pairs.items():
             if nops == 0:
                 continue
-            self.world.network.transfer(src, dst, nbytes)
+            self.world.network.transfer(src, dst, nbytes, checked=False)
             counters.inc("compound.batches")
             counters.inc("compound.batched_ops", nops)
             # Round trips the batch avoided relative to one-per-op.
@@ -186,9 +193,14 @@ class CompoundInvocation:
     >>> result[0].attributes.size  # doctest: +SKIP
     """
 
-    def __init__(self, world, fail_fast: bool = True) -> None:
+    def __init__(
+        self, world, fail_fast: bool = True, retry_policy=None
+    ) -> None:
         self.world = world
         self.fail_fast = fail_fast
+        #: Per-batch override; None falls back to ``world.retry_policy``
+        #: (so a world-wide ``enable_retries`` covers batches too).
+        self.retry_policy = retry_policy
         self._calls: List[Tuple[str, Callable[..., Any], tuple, dict]] = []
 
     def add(self, op: Callable[..., Any], *args: Any, **kwargs: Any) -> int:
@@ -200,20 +212,107 @@ class CompoundInvocation:
     def __len__(self) -> int:
         return len(self._calls)
 
+    @staticmethod
+    def _destination_node(op: Callable[..., Any]):
+        """The node a bound operation executes on, if discoverable."""
+        target = getattr(op, "__self__", None)
+        domain = getattr(target, "domain", None)
+        return getattr(domain, "node", None)
+
+    def _run_pass(
+        self, indices: List[int], outcomes: List[Any], executed: List[bool]
+    ) -> None:
+        """One attempt at the sub-ops in ``indices``, inside a compound
+        region.  Reachability of each sub-op's destination is
+        re-validated *at commit time*, right before its body runs — the
+        fault plane can cut a link between batch construction and
+        commit (or mid-batch, as earlier sub-ops advance the clock), and
+        an op whose batch message could not have been delivered must not
+        execute server-side.  ``executed`` records whether a sub-op's
+        body ran (even partially): only never-executed sub-ops are safe
+        to retry.
+        """
+        caller = invocation.current_domain()
+        network = self.world.network
+        with compound_region(self.world):
+            for position, index in enumerate(indices):
+                label, op, args, kwargs = self._calls[index]
+                failed = False
+                try:
+                    if caller is not None:
+                        destination = self._destination_node(op)
+                        if (
+                            destination is not None
+                            and destination is not caller.node
+                        ):
+                            network.ensure_reachable(caller.node, destination)
+                except Exception as exc:
+                    # Send-time failure: the body never ran.
+                    outcomes[index] = CompoundSubOpError(index, label, exc)
+                    failed = True
+                if not failed:
+                    try:
+                        outcomes[index] = op(*args, **kwargs)
+                        executed[index] = True
+                    except Exception as exc:  # demuxed, not propagated
+                        # The body started; it may have left server-side
+                        # state, so this sub-op is never retried.
+                        executed[index] = True
+                        outcomes[index] = CompoundSubOpError(index, label, exc)
+                        failed = True
+                if failed and self.fail_fast:
+                    for later in indices[position + 1 :]:
+                        outcomes[later] = SKIPPED
+                    break
+
     def commit(self) -> CompoundResult:
         """Run the batch inside a compound region and demultiplex the
-        per-op outcomes."""
+        per-op outcomes.
+
+        With a retry policy (set on the batch or world-wide), transient
+        send-time failures are retried with backoff — *idempotence-
+        aware*: only sub-ops that never executed (the failed send and
+        everything fail-fast skipped after it) are re-run; sub-ops whose
+        bodies ran, and non-transient failures, surface as before.
+        """
         self.world.counters.inc("compound.commit")
-        outcomes: List[Any] = []
-        with compound_region(self.world):
-            for index, (label, op, args, kwargs) in enumerate(self._calls):
-                try:
-                    outcomes.append(op(*args, **kwargs))
-                except Exception as exc:  # demuxed, not propagated
-                    outcomes.append(CompoundSubOpError(index, label, exc))
-                    if self.fail_fast:
-                        outcomes.extend(
-                            [SKIPPED] * (len(self._calls) - index - 1)
-                        )
-                        break
+        policy = (
+            self.retry_policy
+            if self.retry_policy is not None
+            else self.world.retry_policy
+        )
+        total = len(self._calls)
+        outcomes: List[Any] = [SKIPPED] * total
+        executed: List[bool] = [False] * total
+        pending = list(range(total))
+        attempt = 0
+        waited_us = 0.0
+        while True:
+            self._run_pass(pending, outcomes, executed)
+            if policy is None:
+                break
+            retryable = [
+                index
+                for index in pending
+                if not executed[index]
+                and isinstance(outcomes[index], CompoundSubOpError)
+                and isinstance(outcomes[index].cause, policy.retry_on)
+            ]
+            if not retryable:
+                break
+            cause = outcomes[retryable[0]].cause
+            if not policy.should_retry(attempt, waited_us, cause):
+                break
+            backoff = policy.backoff_us(attempt)
+            self.world.counters.inc("compound.retries")
+            self.world.trace(
+                "retry", "compound_backoff", attempt=attempt,
+                backoff_us=backoff, ops=len(retryable),
+            )
+            self.world.clock.advance(backoff, "retry_backoff")
+            waited_us += backoff
+            attempt += 1
+            # Never-executed sub-ops only: the transient failures plus
+            # everything fail-fast skipped behind them.
+            pending = [index for index in pending if not executed[index]]
         return CompoundResult(outcomes)

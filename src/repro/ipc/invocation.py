@@ -26,6 +26,7 @@ import threading
 from typing import Any, Callable, List, Optional, TypeVar
 
 from repro.errors import RevokedObjectError
+from repro.ipc.retry import retry_send
 
 _tls = threading.local()
 
@@ -171,7 +172,18 @@ def operation(fn: F) -> F:
                 region.absorb(caller.node, server.node, request_bytes)
             else:
                 path = "network"
-                world.network.transfer(caller.node, server.node, request_bytes)
+                policy = world.retry_policy
+                if policy is None:
+                    world.network.transfer(
+                        caller.node, server.node, request_bytes
+                    )
+                else:
+                    # Retrying the send is always safe: a transfer
+                    # failure means the op body never ran server-side.
+                    retry_send(
+                        world, self, policy, caller.node, server.node,
+                        request_bytes,
+                    )
         world.counters.inc(_INVOKE_KEYS[path])
         world.counters.inc(op_key)
         if world.tracer is not None:

@@ -3,21 +3,25 @@
 Replaces the paper's machine-to-machine transport (DESIGN.md sec. 2).
 Charges a round-trip plus per-KB payload cost for each cross-node
 invocation, counts messages and bytes per node pair, and supports
-partition injection so tests can exercise remote-failure paths.
+failure injection — ad-hoc partitions for tests, or a full scripted
+:class:`repro.sim.faults.FaultPlane` (drops, delays, duplicates,
+crashes) installed via :meth:`repro.world.World.install_fault_plan`.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, FrozenSet, Set, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, Optional, Set, Tuple
 
-from repro.errors import InvocationError
+from repro.errors import NodeCrashedError, TransientNetworkError
 
 if TYPE_CHECKING:
     from repro.ipc.node import Node
+    from repro.sim.faults import FaultPlane
 
 
-class NetworkPartitionError(InvocationError):
-    """The two nodes cannot currently exchange messages."""
+class NetworkPartitionError(TransientNetworkError):
+    """The two nodes cannot currently exchange messages.  Transient in
+    the retry sense: links heal."""
 
 
 class Network:
@@ -33,15 +37,34 @@ class Network:
         #: both count toward the direction they travel).
         self.per_pair_bytes: Dict[Tuple[str, str], int] = {}
         self._partitions: Set[FrozenSet[str]] = set()
+        #: Scripted failure schedule; None = no faults (the default).
+        self.fault_plane: Optional["FaultPlane"] = None
 
     # --- traffic ----------------------------------------------------------
-    def transfer(self, src: "Node", dst: "Node", nbytes: int) -> None:
+    def transfer(
+        self, src: "Node", dst: "Node", nbytes: int, checked: bool = True
+    ) -> None:
         """One request message from ``src`` to ``dst`` carrying ``nbytes``.
 
         Charges a full round trip (the reply's latency is part of the
         RTT); reply payload is charged separately via :meth:`payload`.
+        With ``checked=False`` the reachability check and per-message
+        fault effects are skipped — used by the compound layer to charge
+        sends whose delivery was already validated when each sub-op was
+        absorbed (see :meth:`repro.ipc.compound.CompoundRegion.flush`).
         """
-        self._check_reachable(src, dst)
+        duplicated = False
+        if checked:
+            self._check_reachable(src, dst)
+            if self.fault_plane is not None:
+                # May raise MessageDroppedError, charge a delay, or ask
+                # for the message to be duplicated.
+                duplicated = self.fault_plane.on_send(src, dst, nbytes)
+        self._account(src, dst, nbytes)
+        if duplicated:
+            self._account(src, dst, nbytes)
+
+    def _account(self, src: "Node", dst: "Node", nbytes: int) -> None:
         self.messages += 1
         self.bytes_moved += nbytes
         key = (src.name, dst.name)
@@ -53,8 +76,10 @@ class Network:
 
     def payload(self, src: "Node", dst: "Node", nbytes: int) -> None:
         """Additional payload (e.g. a bulk reply) on an exchange whose
-        round trip was already charged."""
-        self._check_reachable(src, dst)
+        round trip was already charged.  The reply rides the request's
+        exchange, so scheduled fault events are *not* re-polled here —
+        the request's send-time check covers the round trip."""
+        self._check_reachable(src, dst, poll=False)
         self.bytes_moved += nbytes
         key = (src.name, dst.name)
         self.per_pair_bytes[key] = self.per_pair_bytes.get(key, 0) + nbytes
@@ -72,16 +97,27 @@ class Network:
     def heal_all(self) -> None:
         self._partitions.clear()
 
-    def _check_reachable(self, src: "Node", dst: "Node") -> None:
+    def install_fault_plane(self, plane: "FaultPlane") -> None:
+        self.fault_plane = plane
+
+    def _check_reachable(
+        self, src: "Node", dst: "Node", poll: bool = True
+    ) -> None:
+        if poll and self.fault_plane is not None:
+            self.fault_plane.poll()
+        if src.crashed or dst.crashed:
+            down = src if src.crashed else dst
+            raise NodeCrashedError(f"node {down.name!r} is crashed")
         if frozenset((src.name, dst.name)) in self._partitions:
             raise NetworkPartitionError(
                 f"network partition between {src.name!r} and {dst.name!r}"
             )
 
     def ensure_reachable(self, src: "Node", dst: "Node") -> None:
-        """Public reachability check — raises if the pair is partitioned.
-        Used by the compound layer to fail a batched sub-operation
-        *before* it executes server-side."""
+        """Public reachability check — raises if the pair is partitioned
+        or either end is crashed, after applying any scheduled fault
+        events whose time has arrived.  Used by the compound layer to
+        fail a batched sub-operation *before* it executes server-side."""
         self._check_reachable(src, dst)
 
     def message_count(self, src: "Node", dst: "Node") -> int:

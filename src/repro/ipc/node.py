@@ -8,7 +8,7 @@ the node's VMM and shared name-space root.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.ipc.domain import Credentials, Domain
 
@@ -23,6 +23,17 @@ class Node:
         self.world = world
         self.name = name
         self.domains: Dict[str, Domain] = {}
+        #: True while the machine is down: every message to or from it
+        #: raises :class:`~repro.errors.NodeCrashedError`.
+        self.crashed = False
+        #: Incarnation number, bumped on every :meth:`recover`.  Server
+        #: layers stamp per-client state with the epoch it was
+        #: registered under; a mismatch after recovery is how they know
+        #: that state was lost with the crash (Lustre-style recovery).
+        self.epoch = 0
+        #: Called (no args) when the node crashes — server layers hosted
+        #: here register to drop the volatile state a real crash loses.
+        self._crash_listeners: List[Callable[[], None]] = []
         #: The nucleus domain — kernel + VMM live here.
         self.nucleus = self.create_domain(
             "nucleus", Credentials("nucleus", privileged=True)
@@ -30,6 +41,32 @@ class Node:
         #: Per-node virtual memory manager; attached by repro.vm.vmm at
         #: world.create_node time (avoids an import cycle).
         self.vmm: Optional["Vmm"] = None
+
+    # --- failure / recovery ------------------------------------------------
+    def add_crash_listener(self, fn: Callable[[], None]) -> None:
+        """Register ``fn`` to run when this node crashes."""
+        self._crash_listeners.append(fn)
+
+    def crash(self) -> None:
+        """The machine goes down.  Volatile server state is lost (crash
+        listeners fire); messages to/from the node fail until
+        :meth:`recover`."""
+        if self.crashed:
+            return
+        self.crashed = True
+        self.world.trace("fault", "node_crash", node=self.name)
+        for fn in self._crash_listeners:
+            fn()
+
+    def recover(self) -> None:
+        """The machine comes back up under a new epoch.  Clients holding
+        pre-crash state see the epoch bump and re-register (see
+        :mod:`repro.fs.dfs`)."""
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.epoch += 1
+        self.world.trace("fault", "node_recover", node=self.name, epoch=self.epoch)
 
     def create_domain(
         self, name: str, credentials: Optional[Credentials] = None

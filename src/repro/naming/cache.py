@@ -45,6 +45,7 @@ from repro.errors import (
     FileNotFoundError_,
     NameNotFoundError,
     NotAContextError,
+    TransientNetworkError,
 )
 from repro.ipc.narrow import narrow
 from repro.naming import name as names
@@ -78,6 +79,7 @@ class NameCache:
         one_hop: bool = False,
         negative: bool = True,
         prefix: bool = True,
+        serve_stale: bool = False,
     ) -> None:
         self.world = world
         self.capacity = capacity
@@ -86,9 +88,21 @@ class NameCache:
         self.one_hop = one_hop
         self.negative = negative
         self.prefix = prefix
+        #: Graceful degradation: keep invalidated positive entries in a
+        #: stale side table, and when real resolution fails with a
+        #: *transient* network error (partition, crashed server), serve
+        #: the stale copy — marked by ``namecache.stale_serves`` — rather
+        #: than failing the open.  Off by default: availability over
+        #: strict freshness is an explicit opt-in.
+        self.serve_stale = serve_stale
         #: (root oid, normalized name) -> _Entry, in LRU order
         #: (least recently used first).
         self._entries: "collections.OrderedDict[Tuple[int, str], _Entry]" = (
+            collections.OrderedDict()
+        )
+        #: Invalidated positive entries kept for ``serve_stale`` (LRU,
+        #: bounded by ``capacity`` like the live table).
+        self._stale: "collections.OrderedDict[Tuple[int, str], _Entry]" = (
             collections.OrderedDict()
         )
         self.hits = 0
@@ -97,6 +111,7 @@ class NameCache:
         self.prefix_hits = 0
         self.evictions = 0
         self.invalidations = 0
+        self.stale_serves = 0
         world.register_name_cache(self)
 
     # --- lookup ---------------------------------------------------------------
@@ -135,6 +150,19 @@ class NameCache:
                     ),
                 )
             raise
+        except TransientNetworkError:
+            # Authoritative resolution is unreachable (partition, crashed
+            # server).  With serve_stale on and a previously-valid copy
+            # at hand, degrade gracefully instead of failing the open.
+            stale = self._stale.get(key) if self.serve_stale else None
+            if stale is None:
+                raise
+            self._stale.move_to_end(key)
+            self.stale_serves += 1
+            self.world.counters.inc("namecache.stale_serves")
+            self.world.charge.name_cache_hit()
+            return stale.value
+        self._stale.pop(key, None)  # fresh truth supersedes the stale copy
         self._insert(key, _Entry(obj, path_oids | walked))
         return obj
 
@@ -205,10 +233,21 @@ class NameCache:
         if key in self._entries:
             self._entries.move_to_end(key)
         elif len(self._entries) >= self.capacity:
-            self._entries.popitem(last=False)
+            victim_key, victim = self._entries.popitem(last=False)
             self.evictions += 1
             self.world.counters.inc("namecache.evict")
+            self._demote(victim_key, victim)
         self._entries[key] = entry
+
+    def _demote(self, key: Tuple[int, str], entry: _Entry) -> None:
+        """With ``serve_stale``, keep a positive entry leaving the live
+        table as the degraded-mode fallback (LRU-bounded)."""
+        if not self.serve_stale or entry.negative:
+            return
+        if key not in self._stale and len(self._stale) >= self.capacity:
+            self._stale.popitem(last=False)
+        self._stale[key] = entry
+        self._stale.move_to_end(key)
 
     # --- invalidation ---------------------------------------------------------
     def on_name_event(self, context: NamingContext, component: str) -> None:
@@ -219,11 +258,16 @@ class NameCache:
             if context.oid in entry.path_oids
         ]
         for key in stale:
-            del self._entries[key]
+            # Demote rather than discard: the copy is no longer
+            # authoritative, but it is the best available answer if
+            # the authority becomes unreachable.
+            entry = self._entries.pop(key)
             self.invalidations += 1
+            self._demote(key, entry)
 
     def clear(self) -> None:
         self._entries.clear()
+        self._stale.clear()
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -12,7 +12,7 @@ index to page data (the paper's ``produce data memory`` out-parameter).
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from repro.ipc.object import SpringObject
 from repro.types import AccessRights
@@ -56,6 +56,15 @@ class CacheObject(SpringObject, abc.ABC):
     @abc.abstractmethod
     def destroy_cache(self) -> None:
         """Tear down the cache; the channel is dead afterwards."""
+
+    def held_blocks(self) -> Optional[Dict[int, Tuple[bool, bool]]]:
+        """Report the pages this cache currently holds, as
+        ``{page index: (writable, dirty)}`` — the client's half of
+        server crash recovery: a recovering pager that lost its holder
+        table asks each surviving channel to re-declare its holds.
+        The default returns None ("cannot report"); such a channel is
+        treated as holding nothing after a crash."""
+        return None
 
 
 class FsCache(CacheObject):

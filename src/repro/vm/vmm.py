@@ -222,6 +222,16 @@ class VmmCacheObject(CacheObject):
         self.cache.destroyed = True
         self.world.counters.inc("vmm.destroy_cache")
 
+    @operation
+    def held_blocks(self) -> Dict[int, Tuple[bool, bool]]:
+        """Re-declare this VMM's resident pages to a recovering pager
+        (see :meth:`repro.vm.cache_object.CacheObject.held_blocks`)."""
+        self.world.counters.inc("vmm.held_blocks")
+        return {
+            index: (page.rights.writable, page.dirty)
+            for index, page in self.cache.store.pages()
+        }
+
 
 @dataclasses.dataclass
 class Mapping:

@@ -67,6 +67,9 @@ class World:
         self._name_caches: List[object] = []
         #: Optional event tracing (see repro.sim.trace); None = off.
         self.tracer = None
+        #: Optional invocation retry knobs (see repro.ipc.retry); None =
+        #: transient failures surface immediately (the default).
+        self.retry_policy = None
 
     def enable_tracing(self, capacity: int = 10_000):
         """Turn on event tracing; returns the tracer."""
@@ -74,6 +77,25 @@ class World:
 
         self.tracer = Tracer(capacity)
         return self.tracer
+
+    # --- fault tolerance ------------------------------------------------------
+    def install_fault_plan(self, plan):
+        """Install a scripted failure schedule (see repro.sim.faults);
+        returns the live :class:`~repro.sim.faults.FaultPlane`."""
+        from repro.sim.faults import FaultPlane
+
+        plane = FaultPlane(self, plan)
+        self.network.install_fault_plane(plane)
+        return plane
+
+    def enable_retries(self, policy=None):
+        """Turn on invocation-layer retry for transient network
+        failures; returns the installed policy (the defaults of
+        :class:`~repro.ipc.retry.RetryPolicy` if none is given)."""
+        from repro.ipc.retry import RetryPolicy
+
+        self.retry_policy = policy or RetryPolicy()
+        return self.retry_policy
 
     def trace(self, category: str, name: str, **detail: object) -> None:
         if self.tracer is not None:
