@@ -15,6 +15,9 @@ Headline metrics:
   point of the vectored-paging work).
 * ``BENCH_faults.json`` — knobs-on availability and workload time under
   the reference fault schedule (the point of the fault-tolerance work).
+* ``BENCH_load.json`` — peak throughput of the monolithic / stacked /
+  DFS configurations under the concurrent load sweep (the point of the
+  discrete-event scheduler work).
 
 Usage (from the repo root)::
 
@@ -50,6 +53,12 @@ HEADLINE = [
      "cells.knobs_on.availability_pct", "higher"),
     ("BENCH_faults.json", "benchmarks.bench_fault_recovery",
      "cells.knobs_on.elapsed_ms", "lower"),
+    ("BENCH_load.json", "benchmarks.bench_load_sweep",
+     "configs.monolithic.peak_throughput_rps", "higher"),
+    ("BENCH_load.json", "benchmarks.bench_load_sweep",
+     "configs.stacked.peak_throughput_rps", "higher"),
+    ("BENCH_load.json", "benchmarks.bench_load_sweep",
+     "configs.dfs.peak_throughput_rps", "higher"),
 ]
 
 

@@ -130,10 +130,17 @@ class LayerRuntime:
     page so it must not rebuild f-strings per call.
     """
 
-    __slots__ = ("layer", "depth", "count_keys", "byte_keys")
+    __slots__ = ("layer", "depth", "count_keys", "byte_keys", "busy_us")
 
     def __init__(self, layer: "BaseLayer") -> None:
         self.layer = layer
+        #: Virtual time this layer spent servicing channel ops,
+        #: *exclusive* of time spent inside the layers below it.  Only
+        #: accumulated while the world's busy accounting is enabled
+        #: (:meth:`repro.world.World.enable_layer_busy_accounting`);
+        #: under the discrete-event scheduler, ``busy_us / makespan`` is
+        #: the layer's utilization.
+        self.busy_us = 0.0
         #: Number of layers below this one in its stack (0 = bottom);
         #: maintained by :meth:`BaseLayer.stack_on`.
         self.depth = 0
@@ -161,6 +168,36 @@ class LayerRuntime:
                 offset=offset,
                 size=size,
             )
+
+    def timed(self, fn, *args, **kwargs):
+        """Dispatch ``fn(*args, **kwargs)`` and attribute the virtual
+        time it charges to this layer, exclusive of nested dispatches
+        into lower layers.  When busy accounting is off (the default)
+        this is a tail call with no clock reads — the calibration hot
+        path pays one attribute load and one ``is None`` test.
+
+        The exclusive-time bookkeeping works on a world-level stack of
+        open dispatch frames ``[start_us, child_us]``: a frame's self
+        time is its total elapsed minus the totals its nested frames
+        reported into ``child_us``.  Works identically in sequential
+        and concurrent mode because it only ever *reads* the clock —
+        inside a scheduler frame those reads are frame-local times,
+        whose differences are exactly the op's charged time.
+        """
+        world = self.layer.world
+        stack = world.busy_stack
+        if stack is None:
+            return fn(*args, **kwargs)
+        frame = [world.clock.now_us, 0.0]
+        stack.append(frame)
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            total = world.clock.now_us - frame[0]
+            stack.pop()
+            self.busy_us += total - frame[1]
+            if stack:
+                stack[-1][1] += total
 
 
 class ChannelOps:
@@ -375,15 +412,18 @@ class LayerPagerObject(FsPager):
     def page_in(self, offset: int, size: int, access: AccessRights) -> bytes:
         layer = self.layer
         layer.runtime.record("page_in", offset, size)
-        return layer.ops.page_in(self.source_key, self, offset, size, access)
+        return layer.runtime.timed(
+            layer.ops.page_in, self.source_key, self, offset, size, access
+        )
 
     @operation
     def page_in_range(
         self, offset: int, min_size: int, max_size: int, access: AccessRights
     ) -> bytes:
         layer = self.layer
-        data = layer.ops.page_in_range(
-            self.source_key, self, offset, min_size, max_size, access
+        data = layer.runtime.timed(
+            layer.ops.page_in_range,
+            self.source_key, self, offset, min_size, max_size, access,
         )
         # Recorded after dispatch: the byte count is what actually moved.
         layer.runtime.record("page_in_range", offset, len(data))
@@ -393,44 +433,54 @@ class LayerPagerObject(FsPager):
     def page_out(self, offset: int, size: int, data: bytes) -> None:
         layer = self.layer
         layer.runtime.record("page_out", offset, size)
-        layer.ops.page_out(self.source_key, self, offset, size, data, retain=None)
+        layer.runtime.timed(
+            layer.ops.page_out, self.source_key, self, offset, size, data,
+            retain=None,
+        )
 
     @operation
     def write_out(self, offset: int, size: int, data: bytes) -> None:
         layer = self.layer
         layer.runtime.record("write_out", offset, size)
-        layer.ops.page_out(
-            self.source_key, self, offset, size, data, retain=AccessRights.READ_ONLY
+        layer.runtime.timed(
+            layer.ops.page_out, self.source_key, self, offset, size, data,
+            retain=AccessRights.READ_ONLY,
         )
 
     @operation
     def sync(self, offset: int, size: int, data: bytes) -> None:
         layer = self.layer
         layer.runtime.record("sync", offset, size)
-        layer.ops.page_out(
-            self.source_key, self, offset, size, data, retain=AccessRights.READ_WRITE
+        layer.runtime.timed(
+            layer.ops.page_out, self.source_key, self, offset, size, data,
+            retain=AccessRights.READ_WRITE,
         )
 
     @operation
     def page_out_range(self, offset: int, size: int, data: bytes) -> None:
         layer = self.layer
         layer.runtime.record("page_out_range", offset, size)
-        layer.ops.page_out_range(self.source_key, self, offset, size, data, retain=None)
+        layer.runtime.timed(
+            layer.ops.page_out_range, self.source_key, self, offset, size,
+            data, retain=None,
+        )
 
     @operation
     def write_out_range(self, offset: int, size: int, data: bytes) -> None:
         layer = self.layer
         layer.runtime.record("write_out_range", offset, size)
-        layer.ops.page_out_range(
-            self.source_key, self, offset, size, data, retain=AccessRights.READ_ONLY
+        layer.runtime.timed(
+            layer.ops.page_out_range, self.source_key, self, offset, size,
+            data, retain=AccessRights.READ_ONLY,
         )
 
     @operation
     def sync_range(self, offset: int, size: int, data: bytes) -> None:
         layer = self.layer
         layer.runtime.record("sync_range", offset, size)
-        layer.ops.page_out_range(
-            self.source_key, self, offset, size, data, retain=AccessRights.READ_WRITE
+        layer.runtime.timed(
+            layer.ops.page_out_range, self.source_key, self, offset, size,
+            data, retain=AccessRights.READ_WRITE,
         )
 
     @operation
@@ -442,13 +492,17 @@ class LayerPagerObject(FsPager):
     def attr_page_in(self) -> FileAttributes:
         layer = self.layer
         layer.runtime.record("attr_page_in")
-        return layer.ops.attr_page_in(self.source_key, self)
+        return layer.runtime.timed(
+            layer.ops.attr_page_in, self.source_key, self
+        )
 
     @operation
     def attr_write_out(self, attrs: FileAttributes) -> None:
         layer = self.layer
         layer.runtime.record("attr_write_out")
-        layer.ops.attr_write_out(self.source_key, self, attrs)
+        layer.runtime.timed(
+            layer.ops.attr_write_out, self.source_key, self, attrs
+        )
 
 
 class LayerFsCache(FsCache):
@@ -468,21 +522,27 @@ class LayerFsCache(FsCache):
     @operation
     def flush_back(self, offset: int, size: int) -> Dict[int, bytes]:
         layer = self.layer
-        pages = layer.ops.flush_back(self.state, offset, size)
+        pages = layer.runtime.timed(
+            layer.ops.flush_back, self.state, offset, size
+        )
         layer.runtime.record("flush_back", offset, _pages_bytes(pages))
         return pages
 
     @operation
     def deny_writes(self, offset: int, size: int) -> Dict[int, bytes]:
         layer = self.layer
-        pages = layer.ops.deny_writes(self.state, offset, size)
+        pages = layer.runtime.timed(
+            layer.ops.deny_writes, self.state, offset, size
+        )
         layer.runtime.record("deny_writes", offset, _pages_bytes(pages))
         return pages
 
     @operation
     def write_back(self, offset: int, size: int) -> Dict[int, bytes]:
         layer = self.layer
-        pages = layer.ops.write_back(self.state, offset, size)
+        pages = layer.runtime.timed(
+            layer.ops.write_back, self.state, offset, size
+        )
         layer.runtime.record("write_back", offset, _pages_bytes(pages))
         return pages
 
@@ -490,13 +550,13 @@ class LayerFsCache(FsCache):
     def delete_range(self, offset: int, size: int) -> None:
         layer = self.layer
         layer.runtime.record("delete_range", offset, size)
-        layer.ops.delete_range(self.state, offset, size)
+        layer.runtime.timed(layer.ops.delete_range, self.state, offset, size)
 
     @operation
     def zero_fill(self, offset: int, size: int) -> None:
         layer = self.layer
         layer.runtime.record("zero_fill", offset, size)
-        layer.ops.zero_fill(self.state, offset, size)
+        layer.runtime.timed(layer.ops.zero_fill, self.state, offset, size)
 
     @operation
     def populate(
@@ -504,25 +564,29 @@ class LayerFsCache(FsCache):
     ) -> None:
         layer = self.layer
         layer.runtime.record("populate", offset, size)
-        layer.ops.populate(self.state, offset, size, access, data)
+        layer.runtime.timed(
+            layer.ops.populate, self.state, offset, size, access, data
+        )
 
     @operation
     def destroy_cache(self) -> None:
         layer = self.layer
         layer.runtime.record("destroy_cache")
-        layer.ops.destroy_cache(self.state)
+        layer.runtime.timed(layer.ops.destroy_cache, self.state)
 
     @operation
     def invalidate_attributes(self) -> None:
         layer = self.layer
         layer.runtime.record("invalidate_attributes")
-        layer.ops.invalidate_attributes(self.state)
+        layer.runtime.timed(layer.ops.invalidate_attributes, self.state)
 
     @operation
     def write_back_attributes(self) -> Optional[FileAttributes]:
         layer = self.layer
         layer.runtime.record("write_back_attributes")
-        return layer.ops.write_back_attributes(self.state)
+        return layer.runtime.timed(
+            layer.ops.write_back_attributes, self.state
+        )
 
     @operation
     def held_blocks(self) -> Optional[Dict[int, Tuple[bool, bool]]]:

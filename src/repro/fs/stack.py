@@ -114,6 +114,34 @@ def render_layer_breakdown(top: StackableFs) -> str:
     return "\n".join(lines)
 
 
+def layer_busy_breakdown(
+    top: StackableFs, makespan_us: float = 0.0
+) -> List[Tuple[str, int, float, float]]:
+    """Per-layer busy time ``(fs_type, depth, busy_us, utilization)``,
+    top layer first.
+
+    ``busy_us`` is the virtual time the layer spent servicing channel
+    ops exclusive of the layers below it (see
+    :meth:`repro.fs.base.LayerRuntime.timed`), accumulated only while
+    :meth:`repro.world.World.enable_layer_busy_accounting` is on.
+    ``utilization`` is ``busy_us / makespan_us`` (0.0 when no makespan
+    given) — under the discrete-event scheduler this is the classic
+    "how loaded is this service centre" number, and the layer whose
+    utilization approaches 1.0 first is the stack's saturation
+    bottleneck.
+    """
+    from repro.fs.base import BaseLayer
+
+    rows: List[Tuple[str, int, float, float]] = []
+    for layer in stack_layers(top):
+        if not isinstance(layer, BaseLayer):
+            continue
+        busy = layer.runtime.busy_us
+        util = busy / makespan_us if makespan_us > 0 else 0.0
+        rows.append((layer.fs_type(), layer.runtime.depth, busy, util))
+    return rows
+
+
 def remote_boundaries(top: StackableFs) -> int:
     """Number of layer-to-layer edges in the stack that cross machines —
     each one is a network round trip per uncompounded operation, which is

@@ -1,6 +1,18 @@
-"""Virtual-time simulation substrate: clock and calibrated cost model."""
+"""Virtual-time simulation substrate: clock, calibrated cost model,
+discrete-event scheduler, and the fault plane."""
 
 from repro.sim.clock import SimClock, StopWatch
 from repro.sim.costs import Charger, CostModel
+from repro.sim.scheduler import Scheduler, ServiceQueue, Task, request, think
 
-__all__ = ["SimClock", "StopWatch", "Charger", "CostModel"]
+__all__ = [
+    "SimClock",
+    "StopWatch",
+    "Charger",
+    "CostModel",
+    "Scheduler",
+    "ServiceQueue",
+    "Task",
+    "request",
+    "think",
+]

@@ -20,6 +20,7 @@ Calibration anchors from the paper:
 from __future__ import annotations
 
 import dataclasses
+import sys
 
 from repro.sim.clock import SimClock
 from repro.types import KB
@@ -67,6 +68,14 @@ class CostModel:
     encrypt_per_kb_us: float = 200.0
     decrypt_per_kb_us: float = 200.0
 
+    # --- service-time queues (concurrent mode; see repro.sim.scheduler) --
+    #: Server-side handling time a request occupies one server slot for
+    #: (demultiplex, dispatch, context switch) — the service time of a
+    #: node's request queue under load.
+    server_service_us: float = 500.0
+    #: Additional per-KB slot occupancy for payload-carrying requests.
+    server_service_per_kb_us: float = 25.0
+
     def disk_io_us(self, nbytes: int) -> float:
         """Cost of one disk transfer of ``nbytes`` (seek + average
         rotational latency + media transfer)."""
@@ -83,6 +92,29 @@ class CostModel:
     def memcpy_us(self, nbytes: int) -> float:
         return self.memcpy_per_kb_us * (nbytes / KB)
 
+    def server_service_time_us(self, nbytes: int) -> float:
+        """Time one request carrying ``nbytes`` occupies a server slot
+        (the service time of the node's request queue — see
+        :meth:`repro.ipc.node.Node.install_server_queue`)."""
+        return self.server_service_us + self.server_service_per_kb_us * (nbytes / KB)
+
+
+#: Clock categories, interned once at import: ``SimClock.advance`` runs
+#: on every single charge (2k+ times in a toy macro workload, millions in
+#: a load sweep), and pre-interned keys make the per-category dict
+#: updates hash-and-compare by pointer instead of by string content.
+CPU = sys.intern("cpu")
+DISK = sys.intern("disk")
+NETWORK = sys.intern("network")
+LOCAL_CALL = sys.intern("local_call")
+CROSS_DOMAIN = sys.intern("cross_domain")
+SYSCALL = sys.intern("syscall")
+#: Queue-wait categories charged by the service queues of concurrent
+#: mode (repro.sim.scheduler.ServiceQueue): time a request spent waiting
+#: for a server slot / the disk arm, as opposed to being serviced.
+SERVER_QUEUE_WAIT = sys.intern("server_queue_wait")
+DISK_QUEUE_WAIT = sys.intern("disk_queue_wait")
+
 
 class Charger:
     """Binds a :class:`CostModel` to a :class:`SimClock`.
@@ -98,64 +130,64 @@ class Charger:
 
     # Invocation paths — charged by the ipc layer, exposed for baselines.
     def local_call(self) -> None:
-        self.clock.advance(self.model.local_call_us, "local_call")
+        self.clock.advance(self.model.local_call_us, LOCAL_CALL)
 
     def cross_domain_call(self) -> None:
-        self.clock.advance(self.model.cross_domain_call_us, "cross_domain")
+        self.clock.advance(self.model.cross_domain_call_us, CROSS_DOMAIN)
 
     def syscall(self) -> None:
-        self.clock.advance(self.model.syscall_us, "syscall")
+        self.clock.advance(self.model.syscall_us, SYSCALL)
 
     def network(self, nbytes: int = 0) -> None:
-        self.clock.advance(self.model.network_transfer_us(nbytes), "network")
+        self.clock.advance(self.model.network_transfer_us(nbytes), NETWORK)
 
     def network_payload(self, nbytes: int) -> None:
         """Per-KB payload cost only, for a reply piggybacked on an
         already-charged round trip."""
-        self.clock.advance(self.model.network_per_kb_us * nbytes / KB, "network")
+        self.clock.advance(self.model.network_per_kb_us * nbytes / KB, NETWORK)
 
     def disk_io(self, nbytes: int) -> None:
-        self.clock.advance(self.model.disk_io_us(nbytes), "disk")
+        self.clock.advance(self.model.disk_io_us(nbytes), DISK)
 
     # CPU work in layers.
     def memcpy(self, nbytes: int) -> None:
-        self.clock.advance(self.model.memcpy_us(nbytes), "cpu")
+        self.clock.advance(self.model.memcpy_us(nbytes), CPU)
 
     def fs_resolve(self) -> None:
-        self.clock.advance(self.model.fs_resolve_us, "cpu")
+        self.clock.advance(self.model.fs_resolve_us, CPU)
 
     def fs_open_state(self) -> None:
-        self.clock.advance(self.model.fs_open_state_us, "cpu")
+        self.clock.advance(self.model.fs_open_state_us, CPU)
 
     def fs_attr_copy(self) -> None:
-        self.clock.advance(self.model.fs_attr_copy_us, "cpu")
+        self.clock.advance(self.model.fs_attr_copy_us, CPU)
 
     def fs_access_check(self) -> None:
-        self.clock.advance(self.model.fs_access_check_us, "cpu")
+        self.clock.advance(self.model.fs_access_check_us, CPU)
 
     def fs_read_cpu(self) -> None:
-        self.clock.advance(self.model.fs_read_cpu_us, "cpu")
+        self.clock.advance(self.model.fs_read_cpu_us, CPU)
 
     def fs_write_cpu(self) -> None:
-        self.clock.advance(self.model.fs_write_cpu_us, "cpu")
+        self.clock.advance(self.model.fs_write_cpu_us, CPU)
 
     def vm_fault(self) -> None:
-        self.clock.advance(self.model.vm_fault_us, "cpu")
+        self.clock.advance(self.model.vm_fault_us, CPU)
 
     def bind(self) -> None:
-        self.clock.advance(self.model.bind_us, "cpu")
+        self.clock.advance(self.model.bind_us, CPU)
 
     def name_cache_hit(self) -> None:
-        self.clock.advance(self.model.name_cache_hit_us, "cpu")
+        self.clock.advance(self.model.name_cache_hit_us, CPU)
 
     def compress(self, nbytes: int) -> None:
-        self.clock.advance(self.model.compress_per_kb_us * nbytes / KB, "cpu")
+        self.clock.advance(self.model.compress_per_kb_us * nbytes / KB, CPU)
 
     def decompress(self, nbytes: int) -> None:
-        self.clock.advance(self.model.decompress_per_kb_us * nbytes / KB, "cpu")
+        self.clock.advance(self.model.decompress_per_kb_us * nbytes / KB, CPU)
 
     def encrypt(self, nbytes: int) -> None:
-        self.clock.advance(self.model.encrypt_per_kb_us * nbytes / KB, "cpu")
+        self.clock.advance(self.model.encrypt_per_kb_us * nbytes / KB, CPU)
 
     def decrypt(self, nbytes: int) -> None:
-        self.clock.advance(self.model.decrypt_per_kb_us * nbytes / KB, "cpu")
+        self.clock.advance(self.model.decrypt_per_kb_us * nbytes / KB, CPU)

@@ -9,12 +9,15 @@ ablations and for tests that exercise logic rather than cost.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.errors import DeviceError
 from repro.ipc.invocation import operation
 from repro.ipc.object import SpringObject
 from repro.types import PAGE_SIZE
+
+if TYPE_CHECKING:
+    from repro.sim.scheduler import ServiceQueue
 
 
 class BlockDevice(SpringObject):
@@ -40,6 +43,30 @@ class BlockDevice(SpringObject):
         self.writes = 0
         #: Failure injection: block index -> error message.
         self._bad_blocks: Dict[int, str] = {}
+        #: Transfer queue (concurrent mode): None — the default — means
+        #: transfers never contend, which is the sequential calibration
+        #: behaviour.  Install one with :meth:`install_queue` to model a
+        #: disk arm that serves overlapping requests one at a time.
+        self.queue: Optional["ServiceQueue"] = None
+
+    def install_queue(self, servers: int = 1) -> "ServiceQueue":
+        """Give the device a finite transfer capacity: each transfer
+        reserves a slot for its own modelled duration, and time spent
+        waiting behind other transfers is charged to
+        ``disk_queue_wait`` (see :class:`repro.sim.scheduler.ServiceQueue`)."""
+        from repro.sim.costs import DISK_QUEUE_WAIT
+        from repro.sim.scheduler import ServiceQueue
+
+        self.queue = ServiceQueue(
+            self.world.clock, servers, DISK_QUEUE_WAIT
+        )
+        return self.queue
+
+    def _enqueue(self, nbytes: int) -> None:
+        """Concurrent mode: wait for the disk arm before the transfer
+        itself is charged (no-op without an installed queue)."""
+        if self.queue is not None:
+            self.queue.admit(self.world.cost_model.disk_io_us(nbytes))
 
     # --- helpers ---------------------------------------------------------
     def _check(self, index: int) -> None:
@@ -55,6 +82,7 @@ class BlockDevice(SpringObject):
             )
 
     def _charge(self) -> None:
+        self._enqueue(self.block_size)
         if self.charge_latency:
             self.world.charge.disk_io(self.block_size)
         self.world.trace("disk", "transfer", device=self.name)
@@ -80,6 +108,7 @@ class BlockDevice(SpringObject):
             raise DeviceError("read_blocks needs a positive count")
         for index in range(start, start + count):
             self._check(index)
+        self._enqueue(count * self.block_size)
         if self.charge_latency:
             self.world.charge.disk_io(count * self.block_size)
         self.reads += 1
@@ -103,6 +132,7 @@ class BlockDevice(SpringObject):
         count = len(data) // self.block_size
         for index in range(start, start + count):
             self._check(index)
+        self._enqueue(len(data))
         if self.charge_latency:
             self.world.charge.disk_io(len(data))
         self.world.trace("disk", "transfer", device=self.name)

@@ -70,6 +70,13 @@ class World:
         #: Optional invocation retry knobs (see repro.ipc.retry); None =
         #: transient failures surface immediately (the default).
         self.retry_policy = None
+        #: Lazily created discrete-event scheduler (concurrent mode);
+        #: None until :meth:`scheduler` is first called.
+        self._scheduler = None
+        #: Per-layer busy-time accounting stack (see
+        #: :meth:`repro.fs.base.LayerRuntime.timed`); None = disabled,
+        #: the zero-overhead default.
+        self.busy_stack: Optional[list] = None
 
     def enable_tracing(self, capacity: int = 10_000):
         """Turn on event tracing; returns the tracer."""
@@ -77,6 +84,27 @@ class World:
 
         self.tracer = Tracer(capacity)
         return self.tracer
+
+    # --- concurrency ----------------------------------------------------------
+    def scheduler(self):
+        """The world's discrete-event scheduler (created on first use) —
+        the entry point to concurrent mode: spawn client coroutines on
+        it and :meth:`~repro.sim.scheduler.Scheduler.run`.  Sequential
+        code never touches it."""
+        if self._scheduler is None:
+            from repro.sim.scheduler import Scheduler
+
+            self._scheduler = Scheduler(self)
+        return self._scheduler
+
+    def enable_layer_busy_accounting(self) -> None:
+        """Turn on per-layer busy-time accounting at the channel
+        dispatch spine (virtual time each layer spent servicing channel
+        ops, exclusive of the layers below it).  Off by default: the
+        accounting itself charges nothing, but staying out of the
+        dispatch hot path keeps calibration runs exactly as fast."""
+        if self.busy_stack is None:
+            self.busy_stack = []
 
     # --- fault tolerance ------------------------------------------------------
     def install_fault_plan(self, plan):

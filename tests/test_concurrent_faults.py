@@ -1,0 +1,230 @@
+"""Fault plane x queueing: scripted faults composed with finite server
+queues under the discrete-event scheduler.
+
+The composition contract (see :meth:`repro.ipc.network.Network.transfer`
+and the approximation note in :mod:`repro.sim.scheduler`):
+
+* fault effects run *before* queue admission, so a fault-delayed
+  message charges its delay to ``network_fault_delay``, pays **zero**
+  ``server_queue_wait`` itself, and reserves the server only for
+  ``[arrival, arrival + service]`` — the delay is network time, not
+  server occupancy;
+* sends are admitted in event-execution (send) order, so a message
+  sent *after* a delayed one queues behind the delayed message's
+  reservation — send-order FIFO, deterministically;
+* a dropped message never reaches the server queue at all;
+* a duplicated message occupies two service slots;
+* a node crash wipes its pending reservations (the in-memory request
+  queue dies with the server) while cumulative stats survive.
+
+Everything is pinned to exact virtual times under seeded FaultPlans and
+asserted across two runs where determinism matters.
+"""
+
+import pytest
+
+from repro.errors import MessageDroppedError
+from repro.sim.faults import FaultPlan
+from repro.world import World
+
+#: Zero-byte messages: service time is the base ``server_service_us``.
+SERVICE_BYTES = 0
+#: Every transfer charges the network round trip on top of fault
+#: delays and queue waits (cost model default, zero payload).
+RTT_US = 2_000.0
+
+
+def two_nodes(world):
+    src = world.create_node("src")
+    dst = world.create_node("dst")
+    return src, dst
+
+
+class TestDelayedMessageAndQueue:
+    def test_delay_is_network_time_not_queue_wait(self):
+        world = World()
+        src, dst = two_nodes(world)
+        dst.install_server_queue(1)
+        plan = FaultPlan()
+        plan.delay("src", "dst", at_us=0.0, delay_us=2_000.0, count=1)
+        world.install_fault_plan(plan)
+
+        clock = world.clock
+        clock.begin_frame(0.0)
+        world.network.transfer(src, dst, SERVICE_BYTES)
+        elapsed = clock.end_frame()
+        assert world.counters.get("faults.delayed") == 1
+        # The frame is delay + round trip: the message arrives at an
+        # idle server and pays no queue wait of its own.
+        assert elapsed == 2_000.0 + RTT_US
+        assert clock.charged("network_fault_delay") == 2_000.0
+        assert clock.charged("server_queue_wait") == 0.0
+        assert dst.server_queue.total_wait_us == 0.0
+
+    def test_slot_reserved_from_arrival_not_send(self):
+        # The delayed message's reservation is [2000, 2500] — arrival
+        # plus service — so a probe admitted at t=2500 finds the server
+        # idle while one at t=2400 waits out the tail.
+        world = World()
+        src, dst = two_nodes(world)
+        dst.install_server_queue(1)
+        plan = FaultPlan()
+        plan.delay("src", "dst", at_us=0.0, delay_us=2_000.0, count=1)
+        world.install_fault_plan(plan)
+
+        clock = world.clock
+        service_us = world.cost_model.server_service_time_us(SERVICE_BYTES)
+        assert service_us == 500.0  # the calibration these pins rely on
+        clock.begin_frame(0.0)
+        world.network.transfer(src, dst, SERVICE_BYTES)
+        clock.end_frame()
+
+        clock.begin_frame(2_400.0)
+        world.network.transfer(src, dst, SERVICE_BYTES)
+        assert clock.end_frame() == 100.0 + RTT_US  # waits 2400 -> 2500
+        clock.begin_frame(3_500.0)
+        world.network.transfer(src, dst, SERVICE_BYTES)
+        assert clock.end_frame() == 0.0 + RTT_US  # idle again
+
+    def test_later_send_queues_behind_delayed_reservation(self):
+        # Send-order FIFO: a message sent at t=100 — during the first
+        # message's delay window — still queues behind its [2000, 2500]
+        # reservation, because admissions happen in send order.  This
+        # is the documented event-start-order approximation, pinned.
+        world = World()
+        src, dst = two_nodes(world)
+        dst.install_server_queue(1)
+        plan = FaultPlan()
+        plan.delay("src", "dst", at_us=0.0, delay_us=2_000.0, count=1)
+        world.install_fault_plan(plan)
+
+        clock = world.clock
+        clock.begin_frame(0.0)
+        world.network.transfer(src, dst, SERVICE_BYTES)  # delayed
+        clock.end_frame()
+        clock.begin_frame(100.0)
+        world.network.transfer(src, dst, SERVICE_BYTES)  # on time
+        elapsed = clock.end_frame()
+        assert elapsed == 2_400.0 + RTT_US  # waits 100 -> 2500
+        assert clock.charged("server_queue_wait") == 2_400.0
+        assert dst.server_queue.peak_wait_us == 2_400.0
+
+
+class TestDropNeverOccupies:
+    def test_dropped_message_leaves_server_idle(self):
+        world = World()
+        src, dst = two_nodes(world)
+        dst.install_server_queue(1)
+        plan = FaultPlan()
+        plan.drop("src", "dst", at_us=0.0, count=1)
+        world.install_fault_plan(plan)
+
+        clock = world.clock
+        clock.begin_frame(0.0)
+        with pytest.raises(MessageDroppedError):
+            world.network.transfer(src, dst, SERVICE_BYTES)
+        clock.end_frame()
+        assert dst.server_queue.admitted == 0  # never reached the queue
+
+        clock.begin_frame(10.0)
+        world.network.transfer(src, dst, SERVICE_BYTES)
+        assert clock.end_frame() == RTT_US  # idle server, no wait
+        assert dst.server_queue.admitted == 1
+
+
+class TestDuplicateOccupiesTwice:
+    def test_duplicated_message_reserves_two_slots(self):
+        world = World()
+        src, dst = two_nodes(world)
+        dst.install_server_queue(1)
+        plan = FaultPlan()
+        plan.duplicate("src", "dst", at_us=0.0, count=1)
+        world.install_fault_plan(plan)
+
+        clock = world.clock
+        service_us = world.cost_model.server_service_time_us(SERVICE_BYTES)
+        clock.begin_frame(0.0)
+        world.network.transfer(src, dst, SERVICE_BYTES)
+        clock.end_frame()
+        queue = dst.server_queue
+        assert world.counters.get("faults.duplicated") == 1
+        assert queue.admitted == 2  # original + copy
+        assert queue.total_service_us == 2 * service_us
+        # A later arrival at t=0 waits behind BOTH copies.
+        clock.begin_frame(0.0)
+        world.network.transfer(src, dst, SERVICE_BYTES)
+        assert clock.end_frame() == 2 * service_us + RTT_US
+
+
+class TestCrashResetsQueue:
+    def test_crash_wipes_reservations(self):
+        world = World()
+        src, dst = two_nodes(world)
+        dst.install_server_queue(1)
+        clock = world.clock
+        for _ in range(3):  # build a backlog: simultaneous arrivals
+            clock.begin_frame(0.0)
+            world.network.transfer(src, dst, SERVICE_BYTES)
+            clock.end_frame()
+        assert dst.server_queue.backlog_us() > 0.0
+        dst.crash()
+        assert dst.server_queue.backlog_us() == 0.0  # queue died with it
+        assert dst.server_queue.admitted == 3  # stats survive
+        dst.recover()
+        clock.begin_frame(1.0)
+        world.network.transfer(src, dst, SERVICE_BYTES)
+        assert clock.end_frame() == RTT_US  # fresh queue, no wait
+
+
+class TestScheduledFaultQueueComposition:
+    """The full composition driven through the scheduler: three
+    concurrent clients, the first one's message delayed by a seeded
+    FaultPlan, every finish time pinned exactly and reproduced across
+    two runs."""
+
+    @staticmethod
+    def _run_schedule():
+        from repro.sim.scheduler import request, think
+
+        world = World()
+        src, dst = two_nodes(world)
+        dst.install_server_queue(1)
+        plan = FaultPlan(seed=3)
+        plan.delay("src", "dst", at_us=0.0, delay_us=1_000.0, count=1)
+        world.install_fault_plan(plan)
+        scheduler = world.scheduler()
+        finish = {}
+
+        def client(name, think_us):
+            yield think(think_us)
+            yield request(
+                lambda: world.network.transfer(src, dst, SERVICE_BYTES)
+            )
+            finish[name] = world.clock.now_us
+
+        scheduler.spawn(client("a", 0.0), name="a")
+        scheduler.spawn(client("b", 100.0), name="b")
+        scheduler.spawn(client("c", 200.0), name="c")
+        scheduler.run()
+        return finish, world
+
+    def test_pinned_finish_times(self):
+        finish, world = self._run_schedule()
+        # a sends at 0, is delayed 1000, reserves [1000, 1500], pays
+        # no queue wait, then the 2000us round trip: finishes at 3000.
+        # b sends at 100, queues behind a's reservation (send-order
+        # FIFO): waits 1400, reserves [1500, 2000], finishes at 3500.
+        # c sends at 200: waits 1800, reserves [2000, 2500], finishes
+        # at 4000.
+        assert finish == {"a": 3_000.0, "b": 3_500.0, "c": 4_000.0}
+        assert world.clock.charged("network_fault_delay") == 1_000.0
+        assert world.clock.charged("server_queue_wait") == 3_200.0
+        assert world.counters.get("faults.delayed") == 1
+        queue = world.nodes["dst"].server_queue
+        assert queue.admitted == 3
+        assert queue.peak_wait_us == 1_800.0
+
+    def test_deterministic_across_runs(self):
+        first = self._run_schedule()[0]
+        second = self._run_schedule()[0]
+        assert first == second

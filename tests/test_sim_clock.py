@@ -60,6 +60,23 @@ class TestSimClock:
         clock.advance(1)
         assert events == [1]
 
+    def test_charge_counts(self):
+        clock = SimClock()
+        clock.advance(5, "disk")
+        clock.advance(0.0, "disk")
+        clock.advance(1, "cpu")
+        assert clock.charge_count("disk") == 2  # zero-delta counts
+        assert clock.charge_count("cpu") == 1
+        assert clock.charge_count("network") == 0
+        assert clock.charge_counts() == {"disk": 2, "cpu": 1}
+
+    def test_charge_counts_snapshot_is_copy(self):
+        clock = SimClock()
+        clock.advance(1, "cpu")
+        snapshot = clock.charge_counts()
+        snapshot["cpu"] = 999
+        assert clock.charge_count("cpu") == 1
+
 
 class TestStopWatch:
     def test_measures_elapsed(self):
@@ -95,3 +112,39 @@ class TestStopWatch:
                 clock.advance(10)
         assert inner.elapsed_us == 10
         assert outer.elapsed_us == 15
+
+    def test_zero_delta_charge_appears_in_breakdown(self):
+        # A category explicitly charged 0.0 inside the window (e.g. a
+        # zero-byte memcpy) must appear with value 0.0; earlier
+        # revisions silently dropped it.
+        clock = SimClock()
+        with StopWatch(clock) as watch:
+            clock.advance(0.0, "memcpy")
+            clock.advance(3, "cpu")
+        assert watch.breakdown == {"memcpy": 0.0, "cpu": 3}
+
+    def test_uncharged_category_still_omitted(self):
+        clock = SimClock()
+        clock.advance(100, "disk")  # before the window
+        with StopWatch(clock) as watch:
+            clock.advance(1, "cpu")
+        assert "disk" not in watch.breakdown
+
+    def test_nested_regions_sharing_one_clock_breakdowns(self):
+        # Regression test: nested StopWatch regions over one clock must
+        # each attribute exactly the charges made inside their own
+        # window — including a zero-delta charge in the inner region —
+        # without the inner snapshot disturbing the outer one.
+        clock = SimClock()
+        clock.advance(50, "disk")  # pre-existing totals
+        outer = StopWatch(clock)
+        inner = StopWatch(clock)
+        with outer:
+            clock.advance(5, "cpu")
+            with inner:
+                clock.advance(10, "disk")
+                clock.advance(0.0, "flush")
+            clock.advance(2, "cpu")
+        assert inner.breakdown == {"disk": 10, "flush": 0.0}
+        assert outer.breakdown == {"cpu": 7, "disk": 10, "flush": 0.0}
+        assert outer.elapsed_us == 17
