@@ -18,6 +18,11 @@ Headline metrics:
 * ``BENCH_load.json`` — peak throughput of the monolithic / stacked /
   DFS configurations under the concurrent load sweep (the point of the
   discrete-event scheduler work).
+* ``BENCH_hotpath.json`` — wall-clock ops/sec of the zero-copy data
+  plane (the point of the memoryview/__slots__ work).  Unlike every
+  other record these are *wall-clock* measurements, so they carry a
+  wider per-entry tolerance (25%) to absorb shared-runner noise while
+  still catching a real 2x collapse.
 
 Usage (from the repo root)::
 
@@ -36,29 +41,42 @@ from benchmarks.emit_common import BENCH_DIR, ensure_repo_on_path
 
 ensure_repo_on_path()
 
-#: (committed file, emitter module, dotted metric path, direction).
+#: Wall-clock metrics need headroom for shared-runner noise that the
+#: deterministic virtual-time records never see.
+WALL_CLOCK_TOLERANCE = 0.25
+
+#: (committed file, emitter module, dotted metric path, direction,
+#: per-entry tolerance or None for the ``--tolerance`` default).
 #: ``lower`` metrics regress upward; ``higher`` metrics regress downward.
 HEADLINE = [
     ("BENCH_ipc.json", "benchmarks.emit_bench_ipc",
-     "cells.compound.messages", "lower"),
+     "cells.compound.messages", "lower", None),
     ("BENCH_ipc.json", "benchmarks.emit_bench_ipc",
-     "cells.namecache+compound.messages", "lower"),
+     "cells.namecache+compound.messages", "lower", None),
     ("BENCH_ipc.json", "benchmarks.emit_bench_ipc",
-     "cells.namecache+compound.elapsed_ms", "lower"),
+     "cells.namecache+compound.elapsed_ms", "lower", None),
     ("BENCH_paging.json", "benchmarks.emit_bench_paging",
-     "vectored_flush.batched.elapsed_ms", "lower"),
+     "vectored_flush.batched.elapsed_ms", "lower", None),
     ("BENCH_paging.json", "benchmarks.emit_bench_paging",
-     "vectored_flush.batched.device_writes", "lower"),
+     "vectored_flush.batched.device_writes", "lower", None),
     ("BENCH_faults.json", "benchmarks.bench_fault_recovery",
-     "cells.knobs_on.availability_pct", "higher"),
+     "cells.knobs_on.availability_pct", "higher", None),
     ("BENCH_faults.json", "benchmarks.bench_fault_recovery",
-     "cells.knobs_on.elapsed_ms", "lower"),
+     "cells.knobs_on.elapsed_ms", "lower", None),
     ("BENCH_load.json", "benchmarks.bench_load_sweep",
-     "configs.monolithic.peak_throughput_rps", "higher"),
+     "configs.monolithic.peak_throughput_rps", "higher", None),
     ("BENCH_load.json", "benchmarks.bench_load_sweep",
-     "configs.stacked.peak_throughput_rps", "higher"),
+     "configs.stacked.peak_throughput_rps", "higher", None),
     ("BENCH_load.json", "benchmarks.bench_load_sweep",
-     "configs.dfs.peak_throughput_rps", "higher"),
+     "configs.dfs.peak_throughput_rps", "higher", None),
+    ("BENCH_hotpath.json", "benchmarks.bench_hotpath",
+     "metrics.cached_reads_per_sec", "higher", WALL_CLOCK_TOLERANCE),
+    ("BENCH_hotpath.json", "benchmarks.bench_hotpath",
+     "metrics.flush_pages_per_sec", "higher", WALL_CLOCK_TOLERANCE),
+    ("BENCH_hotpath.json", "benchmarks.bench_hotpath",
+     "metrics.faults_per_sec", "higher", WALL_CLOCK_TOLERANCE),
+    ("BENCH_hotpath.json", "benchmarks.bench_hotpath",
+     "metrics.events_per_sec", "higher", WALL_CLOCK_TOLERANCE),
 ]
 
 
@@ -81,7 +99,9 @@ def main(argv=None) -> int:
 
     rebuilt = {}  # emitter module -> freshly built record
     failures = []
-    for filename, module_name, path, direction in HEADLINE:
+    for filename, module_name, path, direction, tolerance in HEADLINE:
+        if tolerance is None:
+            tolerance = args.tolerance
         with open(os.path.join(BENCH_DIR, filename)) as fh:
             committed = dig(json.load(fh), path)
         if module_name not in rebuilt:
@@ -90,9 +110,9 @@ def main(argv=None) -> int:
             ).build_record()
         current = dig(rebuilt[module_name], path)
         if direction == "lower":
-            regressed = current > committed * (1 + args.tolerance)
+            regressed = current > committed * (1 + tolerance)
         else:
-            regressed = current < committed * (1 - args.tolerance)
+            regressed = current < committed * (1 - tolerance)
         delta_pct = (
             100.0 * (current - committed) / committed if committed else 0.0
         )
@@ -107,7 +127,7 @@ def main(argv=None) -> int:
     if failures:
         print(
             f"\nregression gate FAILED: {len(failures)} headline metric(s) "
-            f"worse than committed by more than {args.tolerance:.0%}."
+            "worse than committed by more than their tolerance."
         )
         print(
             "If the change is intentional, re-emit the affected records "
@@ -117,7 +137,7 @@ def main(argv=None) -> int:
         return 1
     print(
         f"\nregression gate OK: {len(HEADLINE)} headline metrics within "
-        f"{args.tolerance:.0%} of committed baselines."
+        "tolerance of committed baselines."
     )
     return 0
 

@@ -267,7 +267,9 @@ def fig07_dfs() -> Dict[str, object]:
         remote_file = client.fs_context.resolve("dfs@server").resolve("shared.dat")
         remote_aspace = client.vmm.create_address_space("client-user")
         remote_mapping = remote_aspace.map(remote_file, AccessRights.READ_WRITE)
-        before = remote_mapping.read(0, 12)
+        # read_copy: the value is compared after the write below, and a
+        # plain mapped read is a live view of the page it's about to dirty.
+        before = remote_mapping.read_copy(0, 12)
         remote_mapping.write(0, b"CLIENT WRITE")
 
     # Local mapping must now observe the remote write (recalled through

@@ -95,7 +95,7 @@ def _pages_bytes(pages: Optional[Dict[int, bytes]]) -> int:
     return sum(len(chunk) for chunk in pages.values()) if pages else 0
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class StackConfig:
     """Stack-wide tuning knobs, set once per stack.
 
@@ -130,10 +130,23 @@ class LayerRuntime:
     page so it must not rebuild f-strings per call.
     """
 
-    __slots__ = ("layer", "depth", "count_keys", "byte_keys", "busy_us")
+    __slots__ = (
+        "layer",
+        "world",
+        "_inc",
+        "depth",
+        "count_keys",
+        "byte_keys",
+        "busy_us",
+    )
 
     def __init__(self, layer: "BaseLayer") -> None:
         self.layer = layer
+        #: The layer's world and its counter-increment method, resolved
+        #: once: record() runs per dispatched op, and the world/counters
+        #: objects are fixed for the layer's lifetime.
+        self.world = layer.world
+        self._inc = self.world.counters.inc
         #: Virtual time this layer spent servicing channel ops,
         #: *exclusive* of time spent inside the layers below it.  Only
         #: accumulated while the world's busy accounting is enabled
@@ -153,17 +166,16 @@ class LayerRuntime:
         }
 
     def record(self, op: str, offset: Optional[int] = None, size: int = 0) -> None:
-        layer = self.layer
-        world = layer.world
         key = self.count_keys[op]
-        world.counters.inc(key)
+        self._inc(key)
         if size:
-            world.counters.inc(self.byte_keys[op], size)
+            self._inc(self.byte_keys[op], size)
+        world = self.world
         if world.tracer is not None:
             world.trace(
                 "layer",
                 key,
-                layer=layer.fs_type(),
+                layer=self.layer.fs_type(),
                 depth=self.depth,
                 offset=offset,
                 size=size,
@@ -184,7 +196,7 @@ class LayerRuntime:
         inside a scheduler frame those reads are frame-local times,
         whose differences are exactly the op's charged time.
         """
-        world = self.layer.world
+        world = self.world
         stack = world.busy_stack
         if stack is None:
             return fn(*args, **kwargs)
@@ -407,79 +419,84 @@ class LayerPagerObject(FsPager):
         super().__init__(domain)
         self.layer = layer
         self.source_key = source_key
+        # The layer's dispatch table and telemetry runtime are fixed for
+        # its lifetime; resolving them at channel setup keeps the per-op
+        # hot path to two attribute loads instead of four.
+        self.runtime = layer.runtime
+        self.ops = layer.ops
 
     @operation
     def page_in(self, offset: int, size: int, access: AccessRights) -> bytes:
-        layer = self.layer
-        layer.runtime.record("page_in", offset, size)
-        return layer.runtime.timed(
-            layer.ops.page_in, self.source_key, self, offset, size, access
+        runtime = self.runtime
+        runtime.record("page_in", offset, size)
+        return runtime.timed(
+            self.ops.page_in, self.source_key, self, offset, size, access
         )
 
     @operation
     def page_in_range(
         self, offset: int, min_size: int, max_size: int, access: AccessRights
     ) -> bytes:
-        layer = self.layer
-        data = layer.runtime.timed(
-            layer.ops.page_in_range,
+        runtime = self.runtime
+        data = runtime.timed(
+            self.ops.page_in_range,
             self.source_key, self, offset, min_size, max_size, access,
         )
         # Recorded after dispatch: the byte count is what actually moved.
-        layer.runtime.record("page_in_range", offset, len(data))
+        runtime.record("page_in_range", offset, len(data))
         return data
 
     @operation
     def page_out(self, offset: int, size: int, data: bytes) -> None:
-        layer = self.layer
-        layer.runtime.record("page_out", offset, size)
-        layer.runtime.timed(
-            layer.ops.page_out, self.source_key, self, offset, size, data,
+        runtime = self.runtime
+        runtime.record("page_out", offset, size)
+        runtime.timed(
+            self.ops.page_out, self.source_key, self, offset, size, data,
             retain=None,
         )
 
     @operation
     def write_out(self, offset: int, size: int, data: bytes) -> None:
-        layer = self.layer
-        layer.runtime.record("write_out", offset, size)
-        layer.runtime.timed(
-            layer.ops.page_out, self.source_key, self, offset, size, data,
+        runtime = self.runtime
+        runtime.record("write_out", offset, size)
+        runtime.timed(
+            self.ops.page_out, self.source_key, self, offset, size, data,
             retain=AccessRights.READ_ONLY,
         )
 
     @operation
     def sync(self, offset: int, size: int, data: bytes) -> None:
-        layer = self.layer
-        layer.runtime.record("sync", offset, size)
-        layer.runtime.timed(
-            layer.ops.page_out, self.source_key, self, offset, size, data,
+        runtime = self.runtime
+        runtime.record("sync", offset, size)
+        runtime.timed(
+            self.ops.page_out, self.source_key, self, offset, size, data,
             retain=AccessRights.READ_WRITE,
         )
 
     @operation
     def page_out_range(self, offset: int, size: int, data: bytes) -> None:
-        layer = self.layer
-        layer.runtime.record("page_out_range", offset, size)
-        layer.runtime.timed(
-            layer.ops.page_out_range, self.source_key, self, offset, size,
+        runtime = self.runtime
+        runtime.record("page_out_range", offset, size)
+        runtime.timed(
+            self.ops.page_out_range, self.source_key, self, offset, size,
             data, retain=None,
         )
 
     @operation
     def write_out_range(self, offset: int, size: int, data: bytes) -> None:
-        layer = self.layer
-        layer.runtime.record("write_out_range", offset, size)
-        layer.runtime.timed(
-            layer.ops.page_out_range, self.source_key, self, offset, size,
+        runtime = self.runtime
+        runtime.record("write_out_range", offset, size)
+        runtime.timed(
+            self.ops.page_out_range, self.source_key, self, offset, size,
             data, retain=AccessRights.READ_ONLY,
         )
 
     @operation
     def sync_range(self, offset: int, size: int, data: bytes) -> None:
-        layer = self.layer
-        layer.runtime.record("sync_range", offset, size)
-        layer.runtime.timed(
-            layer.ops.page_out_range, self.source_key, self, offset, size,
+        runtime = self.runtime
+        runtime.record("sync_range", offset, size)
+        runtime.timed(
+            self.ops.page_out_range, self.source_key, self, offset, size,
             data, retain=AccessRights.READ_WRITE,
         )
 
@@ -490,19 +507,15 @@ class LayerPagerObject(FsPager):
 
     @operation
     def attr_page_in(self) -> FileAttributes:
-        layer = self.layer
-        layer.runtime.record("attr_page_in")
-        return layer.runtime.timed(
-            layer.ops.attr_page_in, self.source_key, self
-        )
+        runtime = self.runtime
+        runtime.record("attr_page_in")
+        return runtime.timed(self.ops.attr_page_in, self.source_key, self)
 
     @operation
     def attr_write_out(self, attrs: FileAttributes) -> None:
-        layer = self.layer
-        layer.runtime.record("attr_write_out")
-        layer.runtime.timed(
-            layer.ops.attr_write_out, self.source_key, self, attrs
-        )
+        runtime = self.runtime
+        runtime.record("attr_write_out")
+        runtime.timed(self.ops.attr_write_out, self.source_key, self, attrs)
 
 
 class LayerFsCache(FsCache):
@@ -518,75 +531,69 @@ class LayerFsCache(FsCache):
         super().__init__(domain)
         self.layer = layer
         self.state = state
+        self.runtime = layer.runtime
+        self.ops = layer.ops
 
     @operation
     def flush_back(self, offset: int, size: int) -> Dict[int, bytes]:
-        layer = self.layer
-        pages = layer.runtime.timed(
-            layer.ops.flush_back, self.state, offset, size
-        )
-        layer.runtime.record("flush_back", offset, _pages_bytes(pages))
+        runtime = self.runtime
+        pages = runtime.timed(self.ops.flush_back, self.state, offset, size)
+        runtime.record("flush_back", offset, _pages_bytes(pages))
         return pages
 
     @operation
     def deny_writes(self, offset: int, size: int) -> Dict[int, bytes]:
-        layer = self.layer
-        pages = layer.runtime.timed(
-            layer.ops.deny_writes, self.state, offset, size
-        )
-        layer.runtime.record("deny_writes", offset, _pages_bytes(pages))
+        runtime = self.runtime
+        pages = runtime.timed(self.ops.deny_writes, self.state, offset, size)
+        runtime.record("deny_writes", offset, _pages_bytes(pages))
         return pages
 
     @operation
     def write_back(self, offset: int, size: int) -> Dict[int, bytes]:
-        layer = self.layer
-        pages = layer.runtime.timed(
-            layer.ops.write_back, self.state, offset, size
-        )
-        layer.runtime.record("write_back", offset, _pages_bytes(pages))
+        runtime = self.runtime
+        pages = runtime.timed(self.ops.write_back, self.state, offset, size)
+        runtime.record("write_back", offset, _pages_bytes(pages))
         return pages
 
     @operation
     def delete_range(self, offset: int, size: int) -> None:
-        layer = self.layer
-        layer.runtime.record("delete_range", offset, size)
-        layer.runtime.timed(layer.ops.delete_range, self.state, offset, size)
+        runtime = self.runtime
+        runtime.record("delete_range", offset, size)
+        runtime.timed(self.ops.delete_range, self.state, offset, size)
 
     @operation
     def zero_fill(self, offset: int, size: int) -> None:
-        layer = self.layer
-        layer.runtime.record("zero_fill", offset, size)
-        layer.runtime.timed(layer.ops.zero_fill, self.state, offset, size)
+        runtime = self.runtime
+        runtime.record("zero_fill", offset, size)
+        runtime.timed(self.ops.zero_fill, self.state, offset, size)
 
     @operation
     def populate(
         self, offset: int, size: int, access: AccessRights, data: bytes
     ) -> None:
-        layer = self.layer
-        layer.runtime.record("populate", offset, size)
-        layer.runtime.timed(
-            layer.ops.populate, self.state, offset, size, access, data
+        runtime = self.runtime
+        runtime.record("populate", offset, size)
+        runtime.timed(
+            self.ops.populate, self.state, offset, size, access, data
         )
 
     @operation
     def destroy_cache(self) -> None:
-        layer = self.layer
-        layer.runtime.record("destroy_cache")
-        layer.runtime.timed(layer.ops.destroy_cache, self.state)
+        runtime = self.runtime
+        runtime.record("destroy_cache")
+        runtime.timed(self.ops.destroy_cache, self.state)
 
     @operation
     def invalidate_attributes(self) -> None:
-        layer = self.layer
-        layer.runtime.record("invalidate_attributes")
-        layer.runtime.timed(layer.ops.invalidate_attributes, self.state)
+        runtime = self.runtime
+        runtime.record("invalidate_attributes")
+        runtime.timed(self.ops.invalidate_attributes, self.state)
 
     @operation
     def write_back_attributes(self) -> Optional[FileAttributes]:
-        layer = self.layer
-        layer.runtime.record("write_back_attributes")
-        return layer.runtime.timed(
-            layer.ops.write_back_attributes, self.state
-        )
+        runtime = self.runtime
+        runtime.record("write_back_attributes")
+        return runtime.timed(self.ops.write_back_attributes, self.state)
 
     @operation
     def held_blocks(self) -> Optional[Dict[int, Tuple[bool, bool]]]:

@@ -225,7 +225,10 @@ class CfsLayer(BaseLayer):
             return b""
         size = min(size, attrs.size - offset)
         self._ensure_mapping(state, offset + size)
-        return state.mapping.read(offset, size)
+        # Mapping.read may return a view into the shared VmCache;
+        # File.read's contract is immutable bytes, so materialize here —
+        # exactly once, at the layer boundary.
+        return state.mapping.read_copy(offset, size)
 
     def file_write(self, state: CfsFileState, offset: int, data: bytes) -> int:
         self.world.charge.fs_write_cpu()

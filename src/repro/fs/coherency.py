@@ -38,7 +38,7 @@ from repro.ipc.narrow import narrow
 from repro.types import PAGE_SIZE, AccessRights, page_range
 from repro.vm.cache_object import FsCache
 from repro.vm.channel import Channel
-from repro.vm.page import CachedPage, PageStore, index_runs
+from repro.vm.page import ZERO_VIEW, CachedPage, PageStore, index_runs
 from repro.vm.readahead import StreamTable
 
 from repro.fs.attributes import CachedAttributes, FileAttributes
@@ -104,7 +104,12 @@ class CoherencyOps(ChannelOps):
             recovered = state.holders.acquire(requester, offset, size, access)
         self.merge_recovered(state, recovered)
         if layer.cache_enabled:
-            return state.store.read(offset, size, layer._fault_below(state, access))
+            # Zero-copy serve: the requester installs (copies) the page
+            # into its own cache immediately, so handing out a view of
+            # ours is safe — see DESIGN.md section 7.
+            return state.store.read_bytes(
+                offset, size, layer._fault_below(state, access)
+            )
         return layer._read_through(state, offset, size, recovered)
 
     def page_in_range(
@@ -130,7 +135,9 @@ class CoherencyOps(ChannelOps):
             # read-ahead hint issued above a stacked layer survive all
             # the way to the disk layer's clustering.
             layer._prefetch_missing(state, offset, size, access)
-            return state.store.read(offset, size, layer._fault_below(state, access))
+            return state.store.read_bytes(
+                offset, size, layer._fault_below(state, access)
+            )
         # Not caching: still forward the window so clustering below
         # survives this layer instead of collapsing to the minimum.
         size = min(max_size, max(min_size, state.under_file.get_length() - offset))
@@ -453,8 +460,16 @@ class CoherencyLayer(BaseLayer):
                 page = state.down_channel.pager_object.page_in(
                     index * PAGE_SIZE, PAGE_SIZE, AccessRights.READ_ONLY
                 )
-            page = page + bytes(PAGE_SIZE - len(page))
-            out += page[start : start + take]
+            # ``page`` may be a memoryview; pad short (EOF) pages with
+            # slices of the interned zero page instead of concatenating.
+            end = start + take
+            length = len(page)
+            if length >= end:
+                out += page[start:end]
+            else:
+                if start < length:
+                    out += page[start:length]
+                out += ZERO_VIEW[: end - max(start, length)]
             position += take
             remaining -= take
         return bytes(out)
@@ -536,10 +551,9 @@ class CoherencyLayer(BaseLayer):
                 for _, page in run:
                     page.dirty = False
             return
+        pager_sync = state.down_channel.pager_object.sync
         for index, page in state.store.dirty_pages():
-            state.down_channel.pager_object.sync(
-                index * PAGE_SIZE, PAGE_SIZE, page.snapshot()
-            )
+            pager_sync(index * PAGE_SIZE, PAGE_SIZE, page.snapshot())
             page.dirty = False
 
     def _sync_impl(self) -> None:

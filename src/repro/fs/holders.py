@@ -22,11 +22,27 @@ from repro.vm.channel import Channel
 
 
 class BlockHolderTable:
-    """MRSW state for the blocks of one file across client channels."""
+    """MRSW state for the blocks of one file across client channels.
+
+    Alongside the per-page map, two refcount indexes are maintained:
+    how many page entries each holder oid has (``_oid_refs``) and how
+    many of those are writable (``_writer_refs``).  They exist purely so
+    the hot query paths (:meth:`acquire`, :meth:`collect_latest`) can
+    prove "no conflict possible" in O(1) and skip the page scan — the
+    common case when one client owns a file.  Closed channels stay
+    counted until dropped, which only costs a fall-through to the scan,
+    never a missed conflict.
+    """
+
+    __slots__ = ("_holders", "_oid_refs", "_writer_refs")
 
     def __init__(self) -> None:
         #: page index -> {channel cache-object oid -> (channel, rights)}
         self._holders: Dict[int, Dict[int, Tuple[Channel, AccessRights]]] = {}
+        #: holder oid -> number of page entries it appears in.
+        self._oid_refs: Dict[int, int] = {}
+        #: holder oid -> number of page entries it holds read-write.
+        self._writer_refs: Dict[int, int] = {}
 
     def _tracked_pages(self, offset: int, size: int) -> List[int]:
         """Pages we actually track that intersect the byte range.  Ranges
@@ -38,6 +54,25 @@ class BlockHolderTable:
         last = (offset + size - 1) // PAGE_SIZE
         return [p for p in self._holders if first <= p <= last]
 
+    # --- refcount maintenance --------------------------------------------
+    def _unref(self, oid: int, was_writable: bool) -> None:
+        refs = self._oid_refs
+        count = refs.get(oid, 0)
+        if count <= 1:
+            refs.pop(oid, None)
+        else:
+            refs[oid] = count - 1
+        if was_writable:
+            self._unref_writer(oid)
+
+    def _unref_writer(self, oid: int) -> None:
+        writers = self._writer_refs
+        count = writers.get(oid, 0)
+        if count <= 1:
+            writers.pop(oid, None)
+        else:
+            writers[oid] = count - 1
+
     # --- bookkeeping -----------------------------------------------------
     def record(
         self, channel: Channel, offset: int, size: int, access: AccessRights
@@ -47,19 +82,42 @@ class BlockHolderTable:
         Unlike the query paths, recording really touches every page in
         the range — callers pass real transfer sizes here.
         """
+        oid = channel.cache_object.oid
+        writable = access.writable
+        holders = self._holders
+        oid_refs = self._oid_refs
+        writer_refs = self._writer_refs
+        entry = (channel, access)
         for page in page_range(offset, size):
-            self._holders.setdefault(page, {})[channel.cache_object.oid] = (
-                channel,
-                access,
-            )
+            page_holders = holders.get(page)
+            if page_holders is None:
+                page_holders = holders[page] = {}
+            previous = page_holders.get(oid)
+            page_holders[oid] = entry
+            if previous is None:
+                oid_refs[oid] = oid_refs.get(oid, 0) + 1
+                if writable:
+                    writer_refs[oid] = writer_refs.get(oid, 0) + 1
+            else:
+                was_writable = previous[1].writable
+                if writable and not was_writable:
+                    writer_refs[oid] = writer_refs.get(oid, 0) + 1
+                elif was_writable and not writable:
+                    self._unref_writer(oid)
 
     def forget_range(self, channel: Channel, offset: int, size: int) -> None:
+        oid = channel.cache_object.oid
         for page in self._tracked_pages(offset, size):
-            self._holders[page].pop(channel.cache_object.oid, None)
+            previous = self._holders[page].pop(oid, None)
+            if previous is not None:
+                self._unref(oid, previous[1].writable)
 
     def drop_channel(self, channel: Channel) -> None:
+        oid = channel.cache_object.oid
         for holders in self._holders.values():
-            holders.pop(channel.cache_object.oid, None)
+            previous = holders.pop(oid, None)
+            if previous is not None:
+                self._unref(oid, previous[1].writable)
 
     def holders_of(self, page: int) -> List[Tuple[Channel, AccessRights]]:
         return list(self._holders.get(page, {}).values())
@@ -71,7 +129,7 @@ class BlockHolderTable:
         return None
 
     def any_holder(self) -> bool:
-        return any(self._holders.values())
+        return bool(self._oid_refs)
 
     # --- coherency actions ------------------------------------------------
     def _conflicting_channels(
@@ -109,6 +167,22 @@ class BlockHolderTable:
         the request.
         """
         exclude = requester.cache_object.oid if requester is not None else None
+        # O(1) no-conflict proofs from the refcount indexes: a write
+        # request conflicts only with *other holders*, a read request
+        # only with *other writers*.  When neither exists, skip the page
+        # scan entirely — the single-client common case.
+        if access.writable:
+            refs = self._oid_refs
+            no_conflicts = not refs or (len(refs) == 1 and exclude in refs)
+        else:
+            writers = self._writer_refs
+            no_conflicts = not writers or (
+                len(writers) == 1 and exclude in writers
+            )
+        if no_conflicts:
+            if requester is not None:
+                self.record(requester, offset, size, access)
+            return {}
         recovered: Dict[int, bytes] = {}
         for oid, (channel, rights) in self._conflicting_channels(
             offset, size, access, exclude
@@ -128,6 +202,8 @@ class BlockHolderTable:
         """Pull current modified data from writers without changing their
         mode (write_back) — used when the pager itself needs to *read*
         data that an upstream cache may have dirtied."""
+        if not self._writer_refs:
+            return {}
         recovered: Dict[int, bytes] = {}
         seen: set = set()
         for page in self._tracked_pages(offset, size):
@@ -145,25 +221,30 @@ class BlockHolderTable:
         notified: set = set()
         for page in self._tracked_pages(offset, size):
             holders = self._holders[page]
-            for oid, (channel, _) in list(holders.items()):
+            for oid, (channel, rights) in list(holders.items()):
                 if oid == exclude_oid:
                     continue
                 if oid not in notified and not channel.closed:
                     notified.add(oid)
                     channel.cache_object.delete_range(offset, size)
                 holders.pop(oid, None)
+                self._unref(oid, rights.writable)
 
     # --- internals --------------------------------------------------------
     def _forget_holder_range(self, oid: int, offset: int, size: int) -> None:
         for page in self._tracked_pages(offset, size):
-            self._holders[page].pop(oid, None)
+            previous = self._holders[page].pop(oid, None)
+            if previous is not None:
+                self._unref(oid, previous[1].writable)
 
     def _downgrade_holder_range(self, oid: int, offset: int, size: int) -> None:
         for page in self._tracked_pages(offset, size):
             holders = self._holders[page]
-            if oid in holders:
-                channel, _ = holders[oid]
-                holders[oid] = (channel, AccessRights.READ_ONLY)
+            previous = holders.get(oid)
+            if previous is not None:
+                holders[oid] = (previous[0], AccessRights.READ_ONLY)
+                if previous[1].writable:
+                    self._unref_writer(oid)
 
 
 #: "Whole file" for the coarse protocol's coherency actions.

@@ -54,13 +54,13 @@ class Domain:
     ) -> None:
         self.node = node
         self.name = name
+        #: The node's world, bound at creation: domains never migrate
+        #: between worlds, and ``domain.world`` sits on the invocation
+        #: hot path, so a plain attribute beats a property hop.
+        self.world = node.world
         self.credentials = credentials or Credentials(name)
         #: Per-domain name space; installed by repro.naming.namespace.
         self.name_space: Optional["Namespace"] = None
-
-    @property
-    def world(self):
-        return self.node.world
 
     @contextlib.contextmanager
     def activate(self) -> Iterator["Domain"]:

@@ -150,7 +150,18 @@ def operation(fn: F) -> F:
             )
         server = self.domain
         world = server.world
-        caller = current_domain()
+        # Inlined _stack()/_caller_stack(): the wrapper runs on every
+        # simulated invocation, so the thread-local lookups happen once
+        # here instead of per helper call.
+        try:
+            domain_stack = _tls.stack
+        except AttributeError:
+            domain_stack = _tls.stack = []
+        try:
+            caller_stack = _tls.callers
+        except AttributeError:
+            caller_stack = _tls.callers = []
+        caller = domain_stack[-1] if domain_stack else None
         if caller is None:
             # No active domain: zero-cost local semantics (see module doc).
             path = "direct"
@@ -184,8 +195,9 @@ def operation(fn: F) -> F:
                         world, self, policy, caller.node, server.node,
                         request_bytes,
                     )
-        world.counters.inc(_INVOKE_KEYS[path])
-        world.counters.inc(op_key)
+        inc = world.counters.inc
+        inc(_INVOKE_KEYS[path])
+        inc(op_key)
         if world.tracer is not None:
             world.trace(
                 "invoke",
@@ -196,13 +208,13 @@ def operation(fn: F) -> F:
                     f"{caller.node.name}/{caller.name}" if caller else "-"
                 ),
             )
-        push_domain(server)
-        _caller_stack().append(caller)
+        domain_stack.append(server)
+        caller_stack.append(caller)
         try:
             result = fn(self, *args, **kwargs)
         finally:
-            pop_domain()
-            _caller_stack().pop()
+            domain_stack.pop()
+            caller_stack.pop()
         if caller is not None and caller.node is not server.node:
             reply_bytes = bytes_in(result)
             if reply_bytes:

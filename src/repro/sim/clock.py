@@ -182,6 +182,9 @@ class StopWatch:
     5.0
     """
 
+    __slots__ = ("_clock", "_start", "_start_categories", "_start_counts",
+                 "elapsed_us", "breakdown")
+
     def __init__(self, clock: SimClock) -> None:
         self._clock = clock
         self._start: Optional[float] = None

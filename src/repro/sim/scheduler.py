@@ -194,6 +194,8 @@ class Scheduler:
     executed in virtual-time order (ties broken by creation order, so
     runs are deterministic)."""
 
+    __slots__ = ("world", "clock", "_heap", "_seq", "tasks", "operations")
+
     def __init__(self, world) -> None:
         self.world = world
         self.clock = world.clock

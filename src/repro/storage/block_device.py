@@ -15,6 +15,7 @@ from repro.errors import DeviceError
 from repro.ipc.invocation import operation
 from repro.ipc.object import SpringObject
 from repro.types import PAGE_SIZE
+from repro.vm.page import ZERO_PAGE
 
 if TYPE_CHECKING:
     from repro.sim.scheduler import ServiceQueue
@@ -38,6 +39,11 @@ class BlockDevice(SpringObject):
         self.num_blocks = num_blocks
         self.block_size = block_size
         self.charge_latency = charge_latency
+        #: Shared immutable zero block handed out for unallocated reads —
+        #: the system-wide interned page when the geometry matches.
+        self._zero_block = (
+            ZERO_PAGE if block_size == PAGE_SIZE else bytes(block_size)
+        )
         self._blocks: Dict[int, bytes] = {}
         self.reads = 0
         self.writes = 0
@@ -95,7 +101,7 @@ class BlockDevice(SpringObject):
         self.reads += 1
         data = self._blocks.get(index)
         if data is None:
-            return bytes(self.block_size)
+            return self._zero_block
         return data
 
     @operation
@@ -115,7 +121,7 @@ class BlockDevice(SpringObject):
         out = bytearray()
         for index in range(start, start + count):
             data = self._blocks.get(index)
-            out += data if data is not None else bytes(self.block_size)
+            out += data if data is not None else self._zero_block
         return bytes(out)
 
     @operation
@@ -151,9 +157,15 @@ class BlockDevice(SpringObject):
             )
         self._charge()
         self.writes += 1
-        if len(data) < self.block_size:
-            data = bytes(data) + bytes(self.block_size - len(data))
-        self._blocks[index] = bytes(data)
+        # Materialize exactly once at the storage boundary: ``data`` may
+        # be a memoryview riding down from a page snapshot.
+        size = len(data)
+        if size < self.block_size:
+            padded = bytearray(self.block_size)
+            padded[:size] = data
+            self._blocks[index] = bytes(padded)
+        else:
+            self._blocks[index] = bytes(data)
 
     @operation
     def capacity_bytes(self) -> int:

@@ -39,7 +39,7 @@ class CacheRights(SpringObject):
         self.channel: Optional["Channel"] = None
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class Channel:
     """One pager-cache object connection for one memory object."""
 
@@ -59,7 +59,7 @@ class Channel:
         self.cache_rights.revoke()
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class BindResult:
     """Out-parameters of ``memory_object.bind`` (paper Appendix B)."""
 

@@ -4,6 +4,15 @@ Shared by every cache manager in the system — the VMM's per-object page
 caches, the coherency layer's block cache, COMPFS's uncompressed block
 cache — so the per-block bookkeeping (rights, dirtiness, byte-range
 read/write across page boundaries) is implemented exactly once.
+
+Buffer ownership (see DESIGN.md section 7): the zero-copy read surface
+— :meth:`CachedPage.snapshot` and :meth:`PageStore.read_bytes` — returns
+read-only :class:`memoryview` slices over the page's backing buffer,
+valid until the next mutation of that page.  Callers that consume the
+data synchronously (write-back down a stack, transform-and-encode)
+never copy; callers that retain it past the call must copy
+(:meth:`PageStore.collect_modified` does, because coherency recalls
+outlive the pages they were recalled from).
 """
 
 from __future__ import annotations
@@ -13,8 +22,17 @@ from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.types import PAGE_SIZE, AccessRights, page_range
 
+#: The interned zero page: every zero-fill in the system slices this
+#: one immutable buffer instead of allocating ``bytes(n)`` per call.
+ZERO_PAGE = bytes(PAGE_SIZE)
+#: Read-only view of :data:`ZERO_PAGE`; slicing a view is allocation-free
+#: where slicing the bytes would copy.
+ZERO_VIEW = memoryview(ZERO_PAGE)
 
-@dataclasses.dataclass
+_READ_ONLY = AccessRights.READ_ONLY
+
+
+@dataclasses.dataclass(slots=True)
 class CachedPage:
     """One page held by a cache manager."""
 
@@ -22,8 +40,11 @@ class CachedPage:
     rights: AccessRights
     dirty: bool = False
 
-    def snapshot(self) -> bytes:
-        return bytes(self.data)
+    def snapshot(self) -> memoryview:
+        """Read-only view of the page's current contents — zero-copy,
+        valid until the page is next mutated in place.  Retain-safe
+        consumers must copy (``bytes(view)``)."""
+        return memoryview(self.data).toreadonly()
 
 
 def coalesce_runs(
@@ -69,6 +90,8 @@ class PageStore:
     resident-page count and eviction queues incrementally instead of
     rescanning every cache per fault.
     """
+
+    __slots__ = ("_pages", "observer")
 
     def __init__(self, observer: Optional[object] = None) -> None:
         self._pages: Dict[int, CachedPage] = {}
@@ -122,14 +145,27 @@ class PageStore:
         self, index: int, data: bytes, rights: AccessRights, dirty: bool = False
     ) -> CachedPage:
         """Install (or replace) a page.  ``data`` shorter than a page is
-        zero-padded — pagers return short data at EOF."""
+        zero-padded — pagers return short data at EOF.
+
+        Replacing a resident page reuses its backing buffer in place (no
+        allocation, no observer churn); views of the old contents observe
+        the new bytes, per the valid-until-next-mutation contract.
+        """
+        length = len(data)
+        page = self._pages.get(index)
+        if page is not None:
+            buf = page.data
+            buf[:length] = data
+            if length < PAGE_SIZE:
+                buf[length:] = ZERO_VIEW[length:]
+            page.rights = rights
+            page.dirty = dirty
+            return page
         buf = bytearray(PAGE_SIZE)
-        buf[: len(data)] = data
+        buf[:length] = data
         page = CachedPage(buf, rights, dirty)
-        replaced = index in self._pages
         self._pages[index] = page
-        if not replaced:
-            self._note_install(index, page)
+        self._note_install(index, page)
         return page
 
     def drop(self, index: int) -> Optional[CachedPage]:
@@ -155,17 +191,22 @@ class PageStore:
             if page is None:
                 self.install(index, b"", AccessRights.READ_ONLY)
             else:
-                page.data[:] = bytes(PAGE_SIZE)
+                page.data[:] = ZERO_PAGE
                 page.dirty = False
 
     # --- coherency-action helpers ------------------------------------------
     def collect_modified(self, offset: int, size: int) -> Dict[int, bytes]:
-        """Data of dirty pages in the range, keyed by page index."""
+        """Data of dirty pages in the range, keyed by page index.
+
+        Returns *copies*, not views: recalled data crosses a coherency
+        boundary and is retained (merged, replayed, pushed down) after
+        the source pages have been dropped or mutated — the canonical
+        copy-on-retain site."""
         modified = {}
         for index in self._tracked_pages(offset, size):
             page = self._pages[index]
             if page.dirty:
-                modified[index] = page.snapshot()
+                modified[index] = bytes(page.data)
         return modified
 
     def clean_range(self, offset: int, size: int) -> None:
@@ -193,7 +234,7 @@ class PageStore:
         else:
             page = self._pages.get(boundary_page)
             if page is not None:
-                page.data[within:] = bytes(PAGE_SIZE - within)
+                page.data[within:] = ZERO_VIEW[within:]
 
     def clear(self) -> List[Tuple[int, CachedPage]]:
         everything = sorted(self._pages.items())
@@ -203,6 +244,44 @@ class PageStore:
         return everything
 
     # --- byte-range access ---------------------------------------------------
+    def read_bytes(
+        self,
+        offset: int,
+        size: int,
+        fault: Callable[[int, AccessRights], CachedPage],
+    ):
+        """Zero-copy read: ``size`` bytes starting at ``offset``.
+
+        A range within one page returns a read-only :class:`memoryview`
+        into the page — no allocation, valid until the page is next
+        mutated.  Ranges spanning pages materialize exactly once into
+        ``bytes``.  Missing pages fault via ``fault(index, READ_ONLY)``.
+        """
+        if size <= 0:
+            return b""
+        index, start = divmod(offset, PAGE_SIZE)
+        if start + size <= PAGE_SIZE:
+            page = self._pages.get(index)
+            if page is None:
+                page = fault(index, _READ_ONLY)
+            return memoryview(page.data).toreadonly()[start : start + size]
+        out = bytearray(size)
+        filled = 0
+        remaining = size
+        position = offset
+        while remaining > 0:
+            index = position // PAGE_SIZE
+            page = self._pages.get(index)
+            if page is None:
+                page = fault(index, _READ_ONLY)
+            start = position % PAGE_SIZE
+            take = min(PAGE_SIZE - start, remaining)
+            out[filled : filled + take] = page.data[start : start + take]
+            filled += take
+            position += take
+            remaining -= take
+        return bytes(out)
+
     def read(
         self,
         offset: int,
@@ -210,21 +289,13 @@ class PageStore:
         fault: Callable[[int, AccessRights], CachedPage],
     ) -> bytes:
         """Copy ``size`` bytes starting at ``offset`` out of the store,
-        calling ``fault(page_index, READ_ONLY)`` for each missing page."""
-        out = bytearray()
-        remaining = size
-        position = offset
-        while remaining > 0:
-            index = position // PAGE_SIZE
-            page = self._pages.get(index)
-            if page is None:
-                page = fault(index, AccessRights.READ_ONLY)
-            start = position % PAGE_SIZE
-            take = min(PAGE_SIZE - start, remaining)
-            out += page.data[start : start + take]
-            position += take
-            remaining -= take
-        return bytes(out)
+        calling ``fault(page_index, READ_ONLY)`` for each missing page.
+        The result is an immutable ``bytes`` that never aliases the
+        store — the retain-safe counterpart of :meth:`read_bytes`."""
+        data = self.read_bytes(offset, size, fault)
+        if type(data) is bytes:
+            return data
+        return bytes(data)
 
     def write(
         self,
@@ -241,9 +312,10 @@ class PageStore:
         remaining = len(data)
         position = offset
         consumed = 0
+        pages = self._pages
         while remaining > 0:
             index = position // PAGE_SIZE
-            page = self._pages.get(index)
+            page = pages.get(index)
             if page is None or not page.rights.writable:
                 page = fault(index, AccessRights.READ_WRITE)
             start = position % PAGE_SIZE

@@ -34,8 +34,21 @@ class VmCache:
     object).  Several mappings — from any number of address spaces — may
     share one VmCache; that sharing is local coherency."""
 
+    __slots__ = (
+        "vmm",
+        "world",
+        "label",
+        "store",
+        "channel",
+        "destroyed",
+        "mappings",
+        "streams",
+        "readahead_override",
+    )
+
     def __init__(self, vmm: "Vmm", channel_label: str) -> None:
         self.vmm = vmm
+        self.world = vmm.world
         self.label = channel_label
         self.store = PageStore(observer=self)
         self.channel: Optional[Channel] = None
@@ -73,7 +86,7 @@ class VmCache:
         the extra pages speculatively (clean, same access).
         """
         self.check_live()
-        world = self.vmm.world
+        world = self.world
         world.charge.vm_fault()
         world.counters.inc("vmm.fault")
         offset = index * PAGE_SIZE
@@ -143,8 +156,9 @@ class VmCache:
                 count += len(run)
             return count
         dirty = self.store.dirty_pages()
+        pager_sync = self.pager.sync
         for index, page in dirty:
-            self.pager.sync(index * PAGE_SIZE, PAGE_SIZE, page.snapshot())
+            pager_sync(index * PAGE_SIZE, PAGE_SIZE, page.snapshot())
             page.dirty = False
         return len(dirty)
 
@@ -233,13 +247,20 @@ class VmmCacheObject(CacheObject):
         }
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class Mapping:
     """A memory object mapped into an address space.
 
     ``read``/``write`` simulate user loads and stores: they touch the
     shared :class:`VmCache` directly (no invocation), faulting missing or
     insufficient pages from the pager.
+
+    ``read`` has mapped-memory semantics: like a load from a mapped
+    page, the result may be a read-only :class:`memoryview` aliasing the
+    shared cache, valid until the page is next written or evicted.
+    Callers that retain the data (or hand it across an API whose
+    contract is immutable ``bytes``, like ``File.read``) must copy —
+    see DESIGN.md section 7.
     """
 
     address_space: "AddressSpace"
@@ -248,6 +269,20 @@ class Mapping:
     length: int
     access: AccessRights
     unmapped: bool = False
+    # Per-access dispatch targets, resolved once at map time: the fault
+    # handler, store accessors, and memcpy charger are invariant for the
+    # mapping's lifetime, so reads skip the attribute chains entirely.
+    _read_bytes: object = dataclasses.field(init=False, repr=False, default=None)
+    _store_write: object = dataclasses.field(init=False, repr=False, default=None)
+    _fault: object = dataclasses.field(init=False, repr=False, default=None)
+    _memcpy: object = dataclasses.field(init=False, repr=False, default=None)
+
+    def __post_init__(self) -> None:
+        store = self.cache.store
+        self._read_bytes = store.read_bytes
+        self._store_write = store.write
+        self._fault = self.cache.fault
+        self._memcpy = self.cache.world.charge.memcpy
 
     def _check(self, offset: int, size: int, write: bool) -> None:
         if self.unmapped:
@@ -259,18 +294,32 @@ class Mapping:
                 f"[{offset}, {offset + size}) outside mapping of {self.length}"
             )
 
-    def read(self, offset: int, size: int) -> bytes:
-        self._check(offset, size, write=False)
-        world = self.cache.vmm.world
-        data = self.cache.store.read(self.object_offset + offset, size, self.cache.fault)
-        world.charge.memcpy(size)
+    def read(self, offset: int, size: int):
+        if self.unmapped or offset < 0 or size < 0 or offset + size > self.length:
+            self._check(offset, size, write=False)
+        data = self._read_bytes(self.object_offset + offset, size, self._fault)
+        self._memcpy(size)
         return data
 
+    def read_copy(self, offset: int, size: int) -> bytes:
+        """Like :meth:`read` but always an immutable ``bytes`` copy —
+        the retain-safe variant."""
+        data = self.read(offset, size)
+        if type(data) is bytes:
+            return data
+        return bytes(data)
+
     def write(self, offset: int, data: bytes) -> None:
-        self._check(offset, len(data), write=True)
-        world = self.cache.vmm.world
-        self.cache.store.write(self.object_offset + offset, data, self.cache.fault)
-        world.charge.memcpy(len(data))
+        size = len(data)
+        if (
+            self.unmapped
+            or not self.access.writable
+            or offset < 0
+            or offset + size > self.length
+        ):
+            self._check(offset, size, write=True)
+        self._store_write(self.object_offset + offset, data, self._fault)
+        self._memcpy(size)
 
 
 class AddressSpace(SpringObject):

@@ -29,11 +29,18 @@ class Counters:
     several figure reproductions assert on.
     """
 
+    __slots__ = ("_counts",)
+
     def __init__(self) -> None:
         self._counts: Dict[str, int] = {}
 
     def inc(self, name: str, amount: int = 1) -> None:
-        self._counts[name] = self._counts.get(name, 0) + amount
+        # try/except beats .get() on the hit path, and inc runs twice per
+        # invocation — this is one of the hottest calls in the system.
+        try:
+            self._counts[name] += amount
+        except KeyError:
+            self._counts[name] = amount
 
     def get(self, name: str) -> int:
         return self._counts.get(name, 0)

@@ -1,0 +1,164 @@
+"""The zero-copy data plane's buffer-ownership contract (DESIGN.md sec. 7).
+
+Page payloads travel the hot path as ``memoryview`` slices into the
+page cache's resident buffers.  That is only safe under an explicit
+contract:
+
+* a view is valid **until the next in-place mutation** of its page —
+  synchronous consumers may use it without copying;
+* anything that *retains* payload past its own call frame must copy
+  (``collect_modified``, the storage boundary, ``File.read``'s
+  immutable-bytes materialization);
+* writers never hand out writable views — ``snapshot()`` is read-only.
+
+These tests pin each clause, including the aliasing behaviour the
+contract deliberately allows (a stale view observing later writes), so
+a future change that silently re-introduces copies — or drops one that
+is load-bearing — fails loudly.
+"""
+
+import pytest
+
+from repro.types import PAGE_SIZE, AccessRights
+from repro.vm.page import PageStore, ZERO_PAGE
+from repro.fs.cryptfs import xor_block
+
+
+def rw_fault(store):
+    def fault(index, access):
+        return store.install(index, b"", AccessRights.READ_WRITE)
+
+    return fault
+
+
+class TestSnapshotContract:
+    def test_snapshot_is_read_only_view(self):
+        store = PageStore()
+        page = store.install(0, b"abc", AccessRights.READ_WRITE)
+        snap = page.snapshot()
+        assert isinstance(snap, memoryview)
+        assert snap.readonly
+        with pytest.raises(TypeError):
+            snap[0] = 0x7A
+
+    def test_view_observes_in_place_mutation(self):
+        """The documented hazard: a view is a window, not a copy.  It
+        stays coherent with the page until the holder lets go."""
+        store = PageStore()
+        store.write(0, b"before", rw_fault(store))
+        view = store.read_bytes(0, 6, rw_fault(store))
+        assert bytes(view) == b"before"
+        store.write(0, b"AFTER!", rw_fault(store))
+        assert bytes(view) == b"AFTER!"  # same buffer, new bytes
+
+    def test_install_reuses_resident_buffer(self):
+        """Replacing a resident page writes into the existing bytearray;
+        old views observe the new content (no per-install allocation)."""
+        store = PageStore()
+        first = store.install(0, b"one", AccessRights.READ_WRITE)
+        view = first.snapshot()
+        second = store.install(0, b"two", AccessRights.READ_WRITE)
+        assert second.data is first.data
+        assert bytes(view[:3]) == b"two"
+
+    def test_collect_modified_returns_copies(self):
+        """The canonical copy-on-retain site: flushed payloads must NOT
+        alias the live page, or a write racing the flush would corrupt
+        what lands on disk."""
+        store = PageStore()
+        store.write(0, b"flush-me", rw_fault(store))
+        modified = store.collect_modified(0, PAGE_SIZE)
+        retained = modified[0]
+        assert type(retained) is bytes
+        store.write(0, b"LATER-WRITE", rw_fault(store))
+        assert retained[:8] == b"flush-me"
+
+    def test_zero_size_read_faults_nothing(self):
+        """Regression: the single-page fast path must not fault page 0
+        in for a zero-byte read (it used to install a spurious resident
+        page that survived truncation)."""
+        store = PageStore()
+        assert store.read_bytes(0, 0, rw_fault(store)) == b""
+        assert store.read(0, 0, rw_fault(store)) == b""
+        assert list(store.pages()) == []
+
+
+class TestReadSurfaces:
+    def test_single_page_read_bytes_is_a_view(self):
+        store = PageStore()
+        store.write(0, b"x" * PAGE_SIZE, rw_fault(store))
+        got = store.read_bytes(10, 100, rw_fault(store))
+        assert isinstance(got, memoryview)
+        assert got.readonly
+        assert len(got) == 100
+
+    def test_multi_page_read_bytes_materializes(self):
+        store = PageStore()
+        store.write(0, b"y" * (2 * PAGE_SIZE), rw_fault(store))
+        got = store.read_bytes(PAGE_SIZE - 8, 16, rw_fault(store))
+        assert type(got) is bytes
+        assert got == b"y" * 16
+
+    def test_store_read_always_returns_bytes(self):
+        store = PageStore()
+        store.write(0, b"z" * 64, rw_fault(store))
+        assert type(store.read(0, 16, rw_fault(store))) is bytes
+        assert type(store.read(PAGE_SIZE - 4, 8, rw_fault(store))) is bytes
+
+
+class TestInternedZeroPage:
+    def test_zero_page_is_page_sized_and_immutable(self):
+        assert type(ZERO_PAGE) is bytes
+        assert len(ZERO_PAGE) == PAGE_SIZE
+        assert not any(ZERO_PAGE)
+
+    def test_unallocated_block_read_is_interned(self, device):
+        assert device.read_block(5) is ZERO_PAGE
+
+
+class TestBoundaryMaterialization:
+    def test_device_write_copies_views(self, ram_device):
+        """The storage boundary materializes exactly once: a snapshot
+        view written to a block must not alias the live page."""
+        store = PageStore()
+        page = store.install(0, b"disk-bound", AccessRights.READ_WRITE)
+        ram_device.write_block(3, page.snapshot())
+        page.data[:4] = b"MUT!"
+        assert ram_device.peek(3)[:10] == b"disk-bound"
+
+    def test_xor_block_accepts_views_and_returns_bytes(self):
+        """The cryptfs transform point: views ride in, immutable bytes
+        ride out, one materialization."""
+        store = PageStore()
+        page = store.install(0, b"secret payload", AccessRights.READ_WRITE)
+        cipher = xor_block(page.snapshot()[:14], b"k3y!", 0)
+        assert type(cipher) is bytes
+        assert xor_block(cipher, b"k3y!", 0) == b"secret payload"
+
+    def test_file_read_returns_immutable_bytes(self, sfs, user):
+        """``File.read``'s contract is immutable bytes: what a client
+        read must not change when the file is overwritten."""
+        with user.activate():
+            f = sfs.top.create_file("retain.dat")
+            f.write(0, b"generation-1")
+            before = f.read(0, 12)
+            assert type(before) is bytes
+            f.write(0, b"generation-2")
+            assert before == b"generation-1"
+
+    def test_mapping_read_copy_survives_overwrite(self, sfs, user, node):
+        """Mapped reads may return views (that is the optimization);
+        retainers use ``read_copy`` — the copy must not alias."""
+        with user.activate():
+            f = sfs.top.create_file("mapped.dat")
+            f.write(0, b"A" * PAGE_SIZE)
+            f.sync()
+        aspace = node.vmm.create_address_space("zc-test")
+        mapping = aspace.map(
+            f, AccessRights.READ_WRITE, offset=0, length=PAGE_SIZE
+        )
+        held = mapping.read_copy(0, 8)
+        assert type(held) is bytes
+        mapping.write(0, b"BBBBBBBB")
+        assert held == b"AAAAAAAA"
+        assert mapping.read_copy(0, 8) == b"BBBBBBBB"
