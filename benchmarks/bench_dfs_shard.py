@@ -1,0 +1,211 @@
+"""Sharded-DFS availability and tail latency under a datanode crash.
+
+A client runs a 100-operation striped read/write workload against a
+3-datanode sharded DFS while the fault plane crashes one datanode
+mid-write and recovers it ~250ms later.  The two cells measure what
+replication + quorums buy:
+
+* ``single_replica`` — replication 1, W = R = 1: every block lives on
+  exactly one datanode, so each op whose block is homed on the dead
+  node fails (no replica to fail over to).  This is the classic
+  single-copy DFS data path, merely striped.
+* ``quorum`` — replication 3, W = 2: writes succeed on 2-of-3 acks,
+  reads fail over to a live replica, and the NameNode re-replicates
+  the blocks the dead node missed once it returns.
+
+The acceptance bar asserted by ``tests/test_dfs_shard.py``: the quorum
+cell completes 100% of operations with zero user-visible errors and
+every block is back to full replication after recovery; the
+single-replica cell loses a sizeable run of operations.
+
+No retry policy in either cell: replica failover — not resending — is
+the availability mechanism under test (a crashed replica would fail a
+resend just the same).
+
+Everything is virtual-time deterministic: the same schedule, the same
+failures, the same record bytes on every run.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src:. python benchmarks/bench_dfs_shard.py [--smoke]
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+
+from benchmarks.emit_common import emit, ensure_repo_on_path
+
+ensure_repo_on_path()
+
+from repro.dfs import create_sharded_dfs
+from repro.errors import SpringError
+from repro.sim.faults import FaultPlan
+from repro.types import PAGE_SIZE
+from repro.world import World
+
+OPS = 100
+NUM_FILES = 4
+FILE_PAGES = 8
+DATANODES = 3
+#: Per-operation client think time (request pacing).
+THINK_US = 60.0
+#: Datanode heartbeat interval: long enough that the inline liveness
+#: scan (3 pings, ~6ms) does not dominate the op stream, short enough
+#: that the NameNode notices the crash within a handful of ops.
+HEARTBEAT_US = 20_000.0
+#: Finite service slots per datanode, so block ops queue like the
+#: single-server DFS benchmarks' server queue does.
+SERVER_SLOTS = 2
+
+#: The reference schedule, as offsets from the workload's first op
+#: (virtual microseconds).  From the observed quorum-cell timeline a
+#: striped write spans ~12ms (prepare + 3-way put fan-out + commit) and
+#: op 20 — a write — runs over offsets 181..193ms, so a crash at 185ms
+#: lands *inside* its replica fan-out: the op must succeed on the acks
+#: of the two survivors.  The 250ms outage covers roughly 25 more ops
+#: before the datanode returns and re-replication catches it up.
+CRASH_NODE = "dn1"
+CRASH_OFFSET = 185_000.0
+CRASH_OUTAGE = 250_000.0
+
+
+def reference_plan(base_us: float = 0.0) -> FaultPlan:
+    """One datanode crash mid-write, anchored at ``base_us``."""
+    plan = FaultPlan(seed=11)
+    at = base_us + CRASH_OFFSET
+    plan.crash(CRASH_NODE, at_us=at, recover_at_us=at + CRASH_OUTAGE)
+    return plan
+
+
+def _percentile(samples, q: float) -> float:
+    """Nearest-rank percentile of a non-empty sample list."""
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, int(round(q * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+def _setup(replication: int, write_quorum: int):
+    cluster = create_sharded_dfs(
+        world=World(),
+        datanodes=DATANODES,
+        replication=replication,
+        write_quorum=write_quorum,
+        read_quorum=1,
+        heartbeat_interval_us=HEARTBEAT_US,
+        server_slots=SERVER_SLOTS,
+    )
+    user = cluster.world.create_user_domain(cluster.client)
+    handles = []
+    with user.activate():
+        for i in range(NUM_FILES):
+            handle = cluster.layer.create_file(f"f{i}.dat")
+            handle.write(0, bytes([65 + i]) * (PAGE_SIZE * FILE_PAGES))
+            handles.append(handle)
+    return cluster, user, handles
+
+
+def _run_cell(replication: int, write_quorum: int) -> dict:
+    cluster, user, handles = _setup(replication, write_quorum)
+    world = cluster.world
+    world.install_fault_plan(reference_plan(base_us=world.clock.now_us))
+    counters0 = world.counters.snapshot()
+    messages0 = world.network.messages
+    start_us = world.clock.now_us
+    completed = failed = 0
+    latencies_us = []
+    with user.activate():
+        for i in range(OPS):
+            world.clock.advance(THINK_US, "client_think")
+            handle = handles[i % NUM_FILES]
+            page = (i // NUM_FILES) % FILE_PAGES
+            op_start = world.clock.now_us
+            try:
+                if i % 3 == 2:
+                    handle.write(page * PAGE_SIZE, bytes([i % 251]) * PAGE_SIZE)
+                else:
+                    handle.read(page * PAGE_SIZE, PAGE_SIZE)
+                completed += 1
+                latencies_us.append(world.clock.now_us - op_start)
+            except SpringError:
+                failed += 1
+    elapsed_ms = round((world.clock.now_us - start_us) / 1000, 3)
+    # Post-run convergence: one forced scan + unbounded repair budget,
+    # then ask whether every block is back at full replication.
+    cluster.namenode.heartbeat_scan()
+    cluster.namenode.repair()
+    delta = world.counters.delta_since(counters0)
+    return {
+        "completed": completed,
+        "failed": failed,
+        "availability_pct": round(100.0 * completed / OPS, 1),
+        "p50_ms": round(_percentile(latencies_us, 0.50) / 1000, 3),
+        "p99_ms": round(_percentile(latencies_us, 0.99) / 1000, 3),
+        "elapsed_ms": elapsed_ms,
+        "messages": world.network.messages - messages0,
+        "quorum_writes": delta.get("shard.quorum_writes", 0),
+        "quorum_failures": delta.get("shard.quorum_failures", 0),
+        "write_failovers": delta.get("shard.write_failover", 0),
+        "read_failovers": delta.get("shard.read_failover", 0),
+        "reads_unavailable": delta.get("shard.read_unavailable", 0),
+        "re_replications": delta.get("shard.nn.re_replications", 0),
+        "rebalanced": delta.get("shard.nn.rebalanced", 0),
+        "fully_replicated": cluster.namenode.fully_replicated(),
+        "under_replicated": cluster.namenode.under_replicated_count(),
+        "faults_applied": {
+            "crashes": delta.get("faults.crashes", 0),
+            "recoveries": delta.get("faults.recoveries", 0),
+        },
+    }
+
+
+def build_record() -> dict:
+    return {
+        "workload": {
+            "description": (
+                "striped page read/write on a 3-datanode sharded DFS "
+                "while one datanode crashes mid-write and later recovers"
+            ),
+            "ops": OPS,
+            "files": NUM_FILES,
+            "file_pages": FILE_PAGES,
+            "datanodes": DATANODES,
+            "think_us": THINK_US,
+            "heartbeat_us": HEARTBEAT_US,
+            "server_slots": SERVER_SLOTS,
+        },
+        "schedule": {
+            "crashes": [
+                {
+                    "node": CRASH_NODE,
+                    "offset_us": CRASH_OFFSET,
+                    "outage_us": CRASH_OUTAGE,
+                }
+            ],
+        },
+        "cells": {
+            "single_replica": _run_cell(replication=1, write_quorum=1),
+            "quorum": _run_cell(replication=3, write_quorum=2),
+        },
+    }
+
+
+def summarize(record: dict) -> str:
+    single = record["cells"]["single_replica"]
+    quorum = record["cells"]["quorum"]
+    return (
+        f"availability: {single['availability_pct']}% -> "
+        f"{quorum['availability_pct']}% "
+        f"(p99 {quorum['p99_ms']}ms, "
+        f"{quorum['re_replications']} re-replications, "
+        f"fully replicated: {quorum['fully_replicated']})"
+    )
+
+
+def main(argv=None) -> int:
+    return emit("BENCH_shard.json", build_record, summarize, argv)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

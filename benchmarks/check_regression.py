@@ -23,6 +23,11 @@ Headline metrics:
   other record these are *wall-clock* measurements, so they carry a
   wider per-entry tolerance (25%) to absorb shared-runner noise while
   still catching a real 2x collapse.
+* ``BENCH_shard.json`` — availability and tail latency of the quorum
+  cell while one datanode crashes mid-write (the point of the sharded
+  replication work).  Availability carries a zero tolerance — the
+  quorum cell's contract is 100%, and *any* failed op is a protocol
+  regression, not noise; the deterministic p99 gets the default.
 
 Usage (from the repo root)::
 
@@ -77,6 +82,12 @@ HEADLINE = [
      "metrics.faults_per_sec", "higher", WALL_CLOCK_TOLERANCE),
     ("BENCH_hotpath.json", "benchmarks.bench_hotpath",
      "metrics.events_per_sec", "higher", WALL_CLOCK_TOLERANCE),
+    ("BENCH_shard.json", "benchmarks.bench_dfs_shard",
+     "cells.quorum.availability_pct", "higher", 0.0),
+    ("BENCH_shard.json", "benchmarks.bench_dfs_shard",
+     "cells.quorum.p99_ms", "lower", None),
+    ("BENCH_shard.json", "benchmarks.bench_dfs_shard",
+     "cells.quorum.elapsed_ms", "lower", None),
 ]
 
 

@@ -1,0 +1,95 @@
+"""The NameNode's block map — pure placement bookkeeping, no I/O.
+
+A sharded file is an ordered list of fixed-size blocks (one VM page per
+block, matching the paper's 4KB transfer unit); each block is replicated
+on an ordered set of datanodes.  The map records, per block:
+
+* ``version`` — the latest *committed* write: a version becomes
+  committed once at least one datanode durably acknowledged it (the
+  client's W-of-R quorum is the availability contract on top; see
+  ``docs/DISTRIBUTED.md``);
+* ``holders`` — datanode name -> the version that node last
+  acknowledged.  A holder whose version lags ``version`` is *stale*
+  (it missed a write while crashed or unreachable) and must not serve
+  reads until the re-replication pass catches it up.
+
+Everything here is plain data so the NameNode's state machines
+(placement, repair, rebalance) stay unit-testable without a network.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Hashable, Iterator, List, Tuple
+
+
+@dataclasses.dataclass
+class BlockInfo:
+    """Placement and version state for one block of one file."""
+
+    #: Latest committed version; 0 = never written (reads serve zeros).
+    version: int = 0
+    #: datanode name -> version that node last acknowledged.
+    holders: Dict[str, int] = dataclasses.field(default_factory=dict)
+
+    def current_holders(self) -> List[str]:
+        """Holders whose copy is at the committed version, in
+        registration order (deterministic failover order for readers)."""
+        version = self.version
+        return [name for name, held in self.holders.items() if held == version]
+
+    def stale_holders(self) -> List[str]:
+        version = self.version
+        return [name for name, held in self.holders.items() if held != version]
+
+
+class BlockMap:
+    """file key -> {block index -> :class:`BlockInfo`}."""
+
+    def __init__(self) -> None:
+        self._files: Dict[Hashable, Dict[int, BlockInfo]] = {}
+
+    def block(
+        self, file_key: Hashable, index: int, create: bool = False
+    ) -> BlockInfo | None:
+        blocks = self._files.get(file_key)
+        if blocks is None:
+            if not create:
+                return None
+            blocks = self._files[file_key] = {}
+        info = blocks.get(index)
+        if info is None and create:
+            info = blocks[index] = BlockInfo()
+        return info
+
+    def blocks(self) -> Iterator[Tuple[Hashable, int, BlockInfo]]:
+        """All (file_key, index, info) triples, in deterministic
+        (insertion, index) order — repair and rebalance walk this."""
+        for file_key, blocks in self._files.items():
+            for index in sorted(blocks):
+                yield file_key, index, blocks[index]
+
+    def drop_from(
+        self, file_key: Hashable, first_index: int
+    ) -> List[Tuple[int, BlockInfo]]:
+        """Remove every block of ``file_key`` at or past ``first_index``
+        (a truncate); returns the dropped (index, info) pairs so the
+        caller can delete the replicas."""
+        blocks = self._files.get(file_key)
+        if not blocks:
+            return []
+        dropped = [(i, blocks.pop(i)) for i in sorted(blocks) if i >= first_index]
+        return dropped
+
+    def blocks_held_by(self, name: str) -> int:
+        """How many block replicas ``name`` holds (any version) — the
+        rebalancer's fullness metric."""
+        return sum(
+            1
+            for blocks in self._files.values()
+            for info in blocks.values()
+            if name in info.holders
+        )
+
+    def total_blocks(self) -> int:
+        return sum(len(blocks) for blocks in self._files.values())

@@ -1,0 +1,406 @@
+"""ShardedDfsLayer — the client-side striping layer of the sharded DFS.
+
+Sits on the ChannelOps spine like every other layer, but instead of
+forwarding page traffic to the layer below it *fans out* to the
+datanodes: ``page_out``/``page_out_range`` become quorum writes striped
+block-by-block across replicas, ``page_in``/``page_in_range`` become
+located reads with per-replica failover.  The layer it stacks on is the
+*metadata* file system (an SFS on the namenode's machine): the file's
+namespace entry, attributes, and length live there; its data does not —
+the Lustre MDS/OST split on the Spring stacking architecture.
+
+Quorum contract (SNIPPETS Snippet 1's read/write-quorum idiom):
+
+* a striped write must be acked by ``W`` of each block's ``R`` targets
+  (``W`` clamped to the targets actually assigned, so a short-handed
+  cluster degrades to write-all-available instead of failing);
+* reads need ``read_quorum`` replies per block (default 1 — the
+  NameNode only lists *current* holders, so one reply is already
+  consistent; a higher read quorum cross-checks versions and takes the
+  highest);
+* misconfigurations (W > R, read quorum > R) are rejected at
+  ``stack_on`` time with :class:`~repro.errors.StackingError`.
+
+With one datanode and R = W = 1 the layer degenerates to the classic
+single-server DFS data path: every block on the one node, no fan-out,
+failover list of length one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.errors import FsError, StackingError, TransientNetworkError
+from repro.types import PAGE_SIZE, AccessRights
+from repro.vm.page import ZERO_PAGE, ZERO_VIEW
+
+from repro.fs.base import (
+    WHOLE_FILE,
+    BaseLayer,
+    ChannelOps,
+    LayerFile,
+    LayerFileState,
+    StackConfig,
+)
+from repro.fs.file import File
+from repro.fs.fs_interfaces import StackableFs
+
+from repro.dfs.datanode import DataNodeService
+from repro.dfs.namenode import NameNodeService
+
+
+class QuorumWriteError(FsError):
+    """A striped write could not reach its write quorum (too few live
+    replicas acked).  Data acked by a minority is still recorded by the
+    NameNode and repaired toward full replication, but the operation
+    fails the availability contract."""
+
+
+class QuorumReadError(FsError):
+    """No reachable current replica could serve a required block."""
+
+
+class ShardedFileState(LayerFileState):
+    """Per-file state: the metadata under-file plus a client-side copy
+    of the length (so every page-in clamp does not cost a metadata
+    round trip).  ``file_key`` — the key blocks are stored under on the
+    datanodes — is the metadata file's stable source key."""
+
+    def __init__(self, layer: "ShardedDfsLayer", under_file: File) -> None:
+        super().__init__(layer, under_file)
+        self.file_key: Hashable = self.under_key
+        self.length = under_file.get_length()
+
+
+class ShardedOps(ChannelOps):
+    """Dispatch table: holder bookkeeping above (the layer is still a
+    coherent pager to its clients), sharded quorum I/O below instead of
+    a down-channel."""
+
+    def data_length(self, state) -> int:
+        return state.length
+
+    def page_in(self, source_key, pager_object, offset, size, access):
+        state = self.state(source_key)
+        requester = self.requester(source_key, pager_object)
+        with self.region():
+            recovered = state.holders.acquire(requester, offset, size, access)
+            self.merge_recovered(state, recovered)
+        return self.layer.shard_read(state, offset, size)
+
+    def page_in_range(
+        self, source_key, pager_object, offset, min_size, max_size, access
+    ):
+        state = self.state(source_key)
+        requester = self.requester(source_key, pager_object)
+        size = self.clamp_window(state, offset, min_size, max_size)
+        if size == 0:
+            return b""
+        with self.region():
+            recovered = state.holders.acquire(requester, offset, size, access)
+            self.merge_recovered(state, recovered)
+        return self.layer.shard_read(state, offset, size)
+
+    def page_out(self, source_key, pager_object, offset, size, data, retain):
+        state = self.state(source_key)
+        with self.region():
+            self.writeback_bookkeeping(
+                state, self.requester(source_key, pager_object), offset, size, retain
+            )
+        self.layer.shard_write(state, offset, data)
+        self.layer.note_written(state, offset + size)
+
+    # page_out_range needs no override: the spine hands whole runs to
+    # the page_out override of a transforming layer.
+
+
+class ShardedDfsLayer(BaseLayer):
+    """The striping/replication layer; see module docstring."""
+
+    max_under = 1
+    ops_class = ShardedOps
+    state_class = ShardedFileState
+    file_class = LayerFile  # bind serves channels from *this* layer
+
+    def __init__(
+        self,
+        domain,
+        namenode: NameNodeService,
+        write_quorum: int = 2,
+        read_quorum: int = 1,
+    ) -> None:
+        super().__init__(domain)
+        self.namenode = namenode
+        self.write_quorum = write_quorum
+        self.read_quorum = read_quorum
+        #: Client-side mount table: datanode name -> service handle (the
+        #: NameNode speaks in names; the client resolves them here).
+        self._datanodes: Dict[str, DataNodeService] = {}
+
+    def fs_type(self) -> str:
+        return "shardfs"
+
+    def attach_datanode(self, name: str, service: DataNodeService) -> None:
+        self._datanodes[name] = service
+
+    # ------------------------------------------------------------- stacking
+    def stack_on(
+        self, underlying: StackableFs, config: Optional[StackConfig] = None
+    ) -> None:
+        replication = self.namenode.replication
+        if self.write_quorum < 1:
+            raise StackingError(
+                f"shardfs: write quorum must be >= 1, got {self.write_quorum}"
+            )
+        if self.read_quorum < 1:
+            raise StackingError(
+                f"shardfs: read quorum must be >= 1, got {self.read_quorum}"
+            )
+        if self.write_quorum > replication:
+            raise StackingError(
+                f"shardfs: write quorum {self.write_quorum} exceeds "
+                f"replication factor {replication}"
+            )
+        if self.read_quorum > replication:
+            raise StackingError(
+                f"shardfs: read quorum {self.read_quorum} exceeds "
+                f"replication factor {replication}"
+            )
+        if not self._datanodes:
+            raise StackingError("shardfs: no datanodes attached")
+        super().stack_on(underlying, config)
+
+    # ------------------------------------------------------ recovered pages
+    def push_recovered(self, state, recovered: Dict[int, bytes]) -> None:
+        """Dirty pages recalled from upstream holders go to the shards
+        (the base class would push them down the metadata channel)."""
+        if not recovered:
+            return
+        run: list = []
+        for index, data in sorted(recovered.items()):
+            if run and index != run[-1][0] + 1:
+                self._push_shard_run(state, run)
+            run.append((index, data))
+        self._push_shard_run(state, run)
+
+    def _push_shard_run(self, state, run: list) -> None:
+        if not run:
+            return
+        data = b"".join(bytes(chunk) for _, chunk in run)
+        offset = run[0][0] * PAGE_SIZE
+        self.shard_write(state, offset, data)
+        self.note_written(state, offset + len(data))
+        run.clear()
+
+    def note_written(self, state, end: int) -> None:
+        """A write reached byte ``end``; grow the (metadata) length if
+        it extended the file."""
+        if end > state.length:
+            state.length = end
+            state.under_file.set_length(end)
+
+    # ------------------------------------------------------------ file hooks
+    def file_length(self, state) -> int:
+        return state.length
+
+    def file_read(self, state, offset: int, size: int) -> bytes:
+        self.world.charge.fs_read_cpu()
+        with self.fanout_region():
+            recovered = state.holders.collect_latest(offset, size)
+        self.push_recovered(state, recovered)
+        length = state.length
+        if offset >= length or size <= 0:
+            return b""
+        return bytes(self.shard_read(state, offset, min(size, length - offset)))
+
+    def file_write(self, state, offset: int, data: bytes) -> int:
+        self.world.charge.fs_write_cpu()
+        with self.fanout_region():
+            recovered = state.holders.acquire(
+                None, offset, len(data), AccessRights.READ_WRITE
+            )
+        self.push_recovered(state, recovered)
+        self.shard_write(state, offset, data)
+        self.note_written(state, offset + len(data))
+        return len(data)
+
+    def file_set_length(self, state, length: int) -> None:
+        with self.fanout_region():
+            state.holders.invalidate(length, WHOLE_FILE)
+        shrunk_into_block = length < state.length and length % PAGE_SIZE != 0
+        state.length = length
+        state.under_file.set_length(length)
+        self.namenode.truncate(state.file_key, length)
+        if shrunk_into_block:
+            # Physically zero the boundary block's tail so the stale
+            # bytes cannot resurface if the file is later re-extended.
+            # (Bypasses note_written: this write must not grow length.)
+            pad = PAGE_SIZE - length % PAGE_SIZE
+            self.shard_write(state, length, bytes(pad))
+
+    def file_sync(self, state) -> None:
+        with self.fanout_region():
+            recovered = state.holders.collect_latest(0, WHOLE_FILE)
+        self.push_recovered(state, recovered)
+        state.under_file.sync()
+
+    # --------------------------------------------------------- sharded read
+    def shard_read(self, state, offset: int, size: int):
+        """Read ``[offset, offset+size)`` from the shards.  Returns a
+        bytes-like (zero-copy view when one cached block serves the
+        whole request)."""
+        if size <= 0:
+            return b""
+        first = offset // PAGE_SIZE
+        last = (offset + size - 1) // PAGE_SIZE
+        blocks = self._fetch_blocks(state, first, last - first + 1)
+        lead = offset - first * PAGE_SIZE
+        if first == last:
+            return blocks[first][lead : lead + size]
+        out = bytearray(size)
+        pos = 0
+        for index in range(first, last + 1):
+            chunk = blocks[index]
+            start = lead if index == first else 0
+            take = min(PAGE_SIZE - start, size - pos)
+            out[pos : pos + take] = chunk[start : start + take]
+            pos += take
+        return bytes(out)
+
+    def _fetch_blocks(self, state, first: int, count: int) -> Dict[int, object]:
+        """Fetch ``count`` whole blocks starting at ``first``: locate,
+        batch one ``get_blocks`` per datanode, fail over down each
+        block's holder list, and (for read quorums > 1) pick the highest
+        version among the quorum's replies."""
+        counters = self.world.counters
+        locations = self.namenode.locate_range(state.file_key, first, count)
+        out: Dict[int, object] = {}
+        #: index -> (required replies, candidate holder list, next
+        #: candidate position, replies so far as (version, data)).
+        pending: Dict[int, list] = {}
+        for index, version, names in locations:
+            if version == 0 or not names:
+                out[index] = ZERO_VIEW  # never written: serve zeros
+                continue
+            pending[index] = [min(self.read_quorum, len(names)), names, 0, []]
+        dead: set = set()
+        while pending:
+            # One batched round: each unsatisfied block asks its next
+            # untried holder; requests are grouped per datanode.
+            per_node: Dict[str, List[int]] = {}
+            for index, entry in pending.items():
+                _, names, position, _ = entry
+                while position < len(names) and names[position] in dead:
+                    position += 1
+                entry[2] = position + 1
+                if position >= len(names):
+                    counters.inc("shard.read_unavailable")
+                    raise QuorumReadError(
+                        f"block {index} of {state.file_key!r}: no reachable "
+                        f"current replica (holders {names})"
+                    )
+                per_node.setdefault(names[position], []).append(index)
+            with self.fanout_region():
+                for name, indices in per_node.items():
+                    try:
+                        replies = self._datanodes[name].get_blocks(
+                            state.file_key, indices
+                        )
+                    except TransientNetworkError:
+                        dead.add(name)
+                        counters.inc("shard.read_failover")
+                        continue
+                    for index, data, version in replies:
+                        pending[index][3].append((version, data))
+            for index in list(pending):
+                needed, _, _, replies = pending[index]
+                if len(replies) >= needed:
+                    replies.sort(key=lambda pair: pair[0])
+                    out[index] = replies[-1][1]
+                    del pending[index]
+        counters.inc("shard.reads")
+        return out
+
+    def _block_base(self, state, index: int) -> bytearray:
+        """Current contents of one block, for read-modify-write of a
+        partial-block write.  Bytes past the file length read as zero,
+        so truncated tails never resurface."""
+        start = index * PAGE_SIZE
+        length = state.length
+        if start >= length:
+            return bytearray(PAGE_SIZE)
+        base = bytearray(self._fetch_blocks(state, index, 1)[index])
+        if len(base) < PAGE_SIZE:
+            base.extend(ZERO_PAGE[len(base) :])
+        valid = length - start
+        if valid < PAGE_SIZE:
+            base[valid:] = ZERO_PAGE[valid:]
+        return base
+
+    # -------------------------------------------------------- sharded write
+    def shard_write(self, state, offset: int, data) -> None:
+        """Quorum write of ``data`` at ``offset``: split into blocks
+        (read-modify-write at unaligned edges), get placement + versions
+        from the NameNode, push one batched ``put_blocks`` per target
+        datanode with per-target failover, then commit the acks.  Raises
+        :class:`QuorumWriteError` if any block got fewer than
+        min(write_quorum, targets) acks — after committing, so whatever
+        *was* durably written is tracked and repairable."""
+        size = len(data)
+        if size == 0:
+            return
+        counters = self.world.counters
+        first = offset // PAGE_SIZE
+        last = (offset + size - 1) // PAGE_SIZE
+        lead = offset - first * PAGE_SIZE
+        chunks: Dict[int, bytes] = {}
+        view = memoryview(data) if not isinstance(data, memoryview) else data
+        pos = 0
+        for index in range(first, last + 1):
+            start = lead if index == first else 0
+            take = min(PAGE_SIZE - start, size - pos)
+            if start == 0 and take == PAGE_SIZE:
+                chunks[index] = bytes(view[pos : pos + take])
+            else:
+                base = self._block_base(state, index)
+                base[start : start + take] = view[pos : pos + take]
+                chunks[index] = bytes(base)
+            pos += take
+
+        plan = self.namenode.prepare_write_range(
+            state.file_key, first, last - first + 1
+        )
+        targets: Dict[int, Tuple[int, List[str]]] = {}
+        per_node: Dict[str, List[Tuple[int, bytes, int]]] = {}
+        for index, version, names in plan:
+            targets[index] = (version, names)
+            for name in names:
+                per_node.setdefault(name, []).append(
+                    (index, chunks[index], version)
+                )
+        acked: Dict[int, List[str]] = {index: [] for index in chunks}
+        with self.fanout_region():
+            for name, items in per_node.items():
+                try:
+                    acks = self._datanodes[name].put_blocks(state.file_key, items)
+                except TransientNetworkError:
+                    counters.inc("shard.write_failover")
+                    continue
+                for index, stored in acks:
+                    if stored >= targets[index][0]:
+                        acked[index].append(name)
+        self.namenode.commit_write(
+            state.file_key,
+            [(index, targets[index][0], acked[index]) for index in chunks],
+        )
+        for index in chunks:
+            version, names = targets[index]
+            needed = max(1, min(self.write_quorum, len(names)))
+            if len(acked[index]) < needed:
+                counters.inc("shard.quorum_failures")
+                raise QuorumWriteError(
+                    f"block {index} of {state.file_key!r}: "
+                    f"{len(acked[index])} of {len(names)} replicas acked "
+                    f"version {version}, quorum is {needed}"
+                )
+        counters.inc("shard.quorum_writes")

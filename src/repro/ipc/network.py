@@ -142,3 +142,13 @@ class Network:
         """Bytes carried from ``src`` to ``dst`` (requests plus replies
         travelling that direction)."""
         return self.per_pair_bytes.get((src.name, dst.name), 0)
+
+    def inbound_bytes(self, node: "Node") -> int:
+        """Total bytes delivered *to* ``node`` from every peer — the
+        per-node hotness signal the sharded-DFS rebalancer reads."""
+        name = node.name
+        return sum(
+            nbytes
+            for (_, dst), nbytes in self.per_pair_bytes.items()
+            if dst == name
+        )

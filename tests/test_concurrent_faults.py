@@ -228,3 +228,111 @@ class TestScheduledFaultQueueComposition:
         first = self._run_schedule()[0]
         second = self._run_schedule()[0]
         assert first == second
+
+
+class TestShardQuorumDuplicateDelivery:
+    """Satellite of the sharded-DFS PR: the send-only retry policy plus
+    a duplicate-delivery fault must never double-apply a quorum write.
+
+    Two layers guarantee it: the retry wrapper resends only when the
+    *transfer* failed (so the operation body ran zero times), and the
+    datanode's versioned ``put_blocks`` skips-but-acks any chunk whose
+    version is not newer than the stored one (so a redelivered or
+    replayed put is a no-op that still satisfies the quorum)."""
+
+    def _cluster(self):
+        from repro.dfs import create_sharded_dfs
+        from repro.ipc.retry import RetryPolicy
+
+        cluster = create_sharded_dfs(
+            world=World(),
+            datanodes=3,
+            replication=3,
+            write_quorum=2,
+            heartbeat_interval_us=10.0**15,
+            server_slots=2,
+        )
+        cluster.world.enable_retries(
+            RetryPolicy(
+                max_attempts=6,
+                base_backoff_us=100.0,
+                backoff_factor=2.0,
+                max_backoff_us=1_000.0,
+                timeout_us=20_000.0,
+            )
+        )
+        return cluster
+
+    def test_duplicated_put_applies_once_and_occupies_two_slots(self):
+        cluster = self._cluster()
+        world = cluster.world
+        user = world.create_user_domain(cluster.client)
+        with user.activate():
+            handle = cluster.layer.create_file("f.dat")
+        plan = FaultPlan(seed=3)
+        plan.duplicate("client", "dn0", at_us=world.clock.now_us, count=1)
+        world.install_fault_plan(plan)
+        before = world.counters.snapshot()
+        admitted0 = {
+            name: world.nodes[name].server_queue.admitted
+            for name in ("dn0", "dn1", "dn2")
+        }
+        payload = b"q" * 4096
+        with user.activate():
+            handle.write(0, payload)
+        admitted = {
+            name: world.nodes[name].server_queue.admitted - admitted0[name]
+            for name in ("dn0", "dn1", "dn2")
+        }
+        with user.activate():
+            assert handle.read(0, 8) == b"q" * 8
+        delta = world.counters.delta_since(before)
+        assert delta.get("faults.duplicated") == 1
+        # One application per replica — the duplicate did not re-apply.
+        assert delta.get("shard.dn.put_applied") == 3
+        assert "shard.dn.put_skipped" not in delta
+        assert delta.get("shard.quorum_writes") == 1
+        key = handle.state.file_key
+        for service in cluster.datanodes.values():
+            assert service.stored_version(key, 0) == 1
+        # The duplicated copy was serviced: across the write, dn0's
+        # queue admitted one message more than its symmetric peers.
+        assert admitted["dn0"] == admitted["dn1"] + 1
+        assert admitted["dn1"] == admitted["dn2"]
+
+    def test_dropped_then_retried_put_applies_once(self):
+        cluster = self._cluster()
+        world = cluster.world
+        user = world.create_user_domain(cluster.client)
+        with user.activate():
+            handle = cluster.layer.create_file("f.dat")
+        plan = FaultPlan(seed=3)
+        plan.drop("client", "dn0", at_us=world.clock.now_us, count=1)
+        world.install_fault_plan(plan)
+        before = world.counters.snapshot()
+        with user.activate():
+            handle.write(0, b"r" * 4096)
+            assert handle.read(0, 8) == b"r" * 8
+        delta = world.counters.delta_since(before)
+        assert delta.get("faults.dropped") == 1
+        # The retry resent a transfer whose body never ran: exactly one
+        # application per replica, no failover, a full-quorum write.
+        assert delta.get("invoke.retries", 0) >= 1
+        assert delta.get("shard.dn.put_applied") == 3
+        assert "shard.write_failover" not in delta
+        assert delta.get("shard.quorum_writes") == 1
+        key = handle.state.file_key
+        for service in cluster.datanodes.values():
+            assert service.stored_version(key, 0) == 1
+
+    def test_replayed_put_at_same_version_skips_but_acks(self):
+        cluster = self._cluster()
+        service = cluster.datanodes["dn0"]
+        payload = b"first" + bytes(4091)
+        assert service.put_blocks("k", [(0, payload, 1)]) == [(0, 1)]
+        # Application-level redelivery of the same prepared version:
+        # acked at the stored version, data untouched.
+        assert service.put_blocks("k", [(0, b"replay", 1)]) == [(0, 1)]
+        assert cluster.world.counters.get("shard.dn.put_skipped") == 1
+        [(_, data, _)] = service.get_blocks("k", [0])
+        assert bytes(data[:5]) == b"first"

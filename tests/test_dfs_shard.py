@@ -1,0 +1,418 @@
+"""The sharded DFS: striping and placement, quorum writes/reads with
+failover, versioned idempotent block puts, re-replication and
+rebalancing, configuration validation at ``stack_on``, the degenerate
+single-node cell, and the benchmark's acceptance bars."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.dfs import (
+    QuorumReadError,
+    QuorumWriteError,
+    create_sharded_dfs,
+)
+from repro.errors import StackingError
+from repro.sim.faults import FaultPlan
+from repro.types import PAGE_SIZE, AccessRights
+from repro.world import World
+
+BENCH = pathlib.Path(__file__).parent.parent / "benchmarks"
+
+#: A heartbeat interval long enough that no inline liveness scan runs
+#: unless a test forces one — keeps placement and failover behaviour
+#: exactly as scripted.
+NEVER = 10.0**15
+
+
+def make_cluster(**kwargs):
+    kwargs.setdefault("world", World())
+    kwargs.setdefault("heartbeat_interval_us", NEVER)
+    return create_sharded_dfs(**kwargs)
+
+
+@pytest.fixture
+def cluster():
+    return make_cluster()
+
+
+@pytest.fixture
+def user(cluster):
+    return cluster.world.create_user_domain(cluster.client)
+
+
+class TestStriping:
+    def test_multi_page_roundtrip(self, cluster, user):
+        payload = bytes(range(256)) * (5 * PAGE_SIZE // 256)
+        with user.activate():
+            handle = cluster.layer.create_file("f.dat")
+            assert handle.write(0, payload) == len(payload)
+            assert handle.read(0, len(payload)) == payload
+            assert handle.get_length() == len(payload)
+
+    def test_unaligned_overwrite_read_modify_write(self, cluster, user):
+        payload = b"a" * (2 * PAGE_SIZE)
+        with user.activate():
+            handle = cluster.layer.create_file("f.dat")
+            handle.write(0, payload)
+            handle.write(PAGE_SIZE - 10, b"B" * 20)
+            back = handle.read(PAGE_SIZE - 12, 24)
+        assert back == b"aa" + b"B" * 20 + b"aa"
+
+    def test_replication_places_every_block_everywhere(self, cluster, user):
+        with user.activate():
+            handle = cluster.layer.create_file("f.dat")
+            handle.write(0, bytes(4 * PAGE_SIZE))
+        key = handle.state.file_key
+        for service in cluster.datanodes.values():
+            assert service.stored_blocks() == 4
+            for index in range(4):
+                assert service.stored_version(key, index) == 1
+
+    def test_single_replica_round_robin_placement(self, user):
+        cluster = make_cluster(replication=1, write_quorum=1)
+        user = cluster.world.create_user_domain(cluster.client)
+        with user.activate():
+            handle = cluster.layer.create_file("f.dat")
+            handle.write(0, bytes(6 * PAGE_SIZE))
+        key = handle.state.file_key
+        for index in range(6):
+            info = cluster.namenode.block_map.block(key, index)
+            assert list(info.holders) == [f"dn{index % 3}"]
+
+    def test_sparse_hole_reads_zero(self, cluster, user):
+        with user.activate():
+            handle = cluster.layer.create_file("f.dat")
+            handle.write(3 * PAGE_SIZE, b"x" * PAGE_SIZE)
+            hole = handle.read(PAGE_SIZE, PAGE_SIZE)
+        assert hole == bytes(PAGE_SIZE)
+
+    def test_truncate_drops_blocks_and_zeroes_tail(self, cluster, user):
+        with user.activate():
+            handle = cluster.layer.create_file("f.dat")
+            handle.write(0, b"z" * (3 * PAGE_SIZE))
+            handle.set_length(PAGE_SIZE + 100)
+            assert handle.get_length() == PAGE_SIZE + 100
+            assert handle.read(0, 4 * PAGE_SIZE) == b"z" * (PAGE_SIZE + 100)
+            # Re-extend: the truncated tail must not resurface.
+            handle.set_length(2 * PAGE_SIZE)
+            tail = handle.read(PAGE_SIZE + 100, PAGE_SIZE - 100)
+        assert tail == bytes(PAGE_SIZE - 100)
+        key = handle.state.file_key
+        assert cluster.namenode.block_map.block(key, 2) is None
+
+
+class TestQuorumWrite:
+    def test_write_survives_one_crashed_replica(self, cluster, user):
+        with user.activate():
+            handle = cluster.layer.create_file("f.dat")
+            handle.write(0, b"v1" * (PAGE_SIZE // 2))
+        cluster.datanode_nodes[1].crash()
+        counters = cluster.world.counters
+        before = counters.snapshot()
+        with user.activate():
+            handle.write(0, b"v2" * (PAGE_SIZE // 2))
+            assert handle.read(0, 4) == b"v2v2"
+        delta = counters.delta_since(before)
+        assert delta.get("shard.quorum_writes") == 1
+        assert delta.get("shard.write_failover") == 1
+        assert "shard.quorum_failures" not in delta
+
+    def test_write_below_quorum_raises(self, cluster, user):
+        with user.activate():
+            handle = cluster.layer.create_file("f.dat")
+            handle.write(0, b"v1" * (PAGE_SIZE // 2))
+        cluster.datanode_nodes[1].crash()
+        cluster.datanode_nodes[2].crash()
+        with user.activate():
+            with pytest.raises(QuorumWriteError):
+                handle.write(0, b"v2" * (PAGE_SIZE // 2))
+        assert cluster.world.counters.get("shard.quorum_failures") == 1
+
+    def test_minority_ack_is_committed_and_repaired(self, cluster, user):
+        """A failed quorum write whose single ack *was* durable is
+        tracked by the NameNode and repaired to full replication —
+        the write failed the availability contract, not durability."""
+        with user.activate():
+            handle = cluster.layer.create_file("f.dat")
+            handle.write(0, b"v1" * (PAGE_SIZE // 2))
+        cluster.datanode_nodes[1].crash()
+        cluster.datanode_nodes[2].crash()
+        with user.activate():
+            with pytest.raises(QuorumWriteError):
+                handle.write(0, b"v2" * (PAGE_SIZE // 2))
+        cluster.datanode_nodes[1].recover()
+        cluster.datanode_nodes[2].recover()
+        cluster.namenode.heartbeat_scan()
+        cluster.namenode.repair()
+        assert cluster.namenode.fully_replicated()
+        with user.activate():
+            assert handle.read(0, 4) == b"v2v2"
+
+    def test_partial_write_to_dead_single_replica_fails_on_rmw_read(self, user):
+        cluster = make_cluster(replication=1, write_quorum=1)
+        user = cluster.world.create_user_domain(cluster.client)
+        with user.activate():
+            handle = cluster.layer.create_file("f.dat")
+            handle.write(0, bytes(PAGE_SIZE))
+        key = handle.state.file_key
+        holder = next(iter(cluster.namenode.block_map.block(key, 0).holders))
+        cluster.world.nodes[holder].crash()
+        with user.activate():
+            # Unaligned: the read-modify-write base read fails first.
+            with pytest.raises(QuorumReadError):
+                handle.write(10, b"x" * 10)
+            # Aligned: the put itself fails the quorum.
+            with pytest.raises(QuorumWriteError):
+                handle.write(0, b"x" * PAGE_SIZE)
+
+
+class TestQuorumRead:
+    def test_read_fails_over_to_live_replica(self, cluster, user):
+        with user.activate():
+            handle = cluster.layer.create_file("f.dat")
+            handle.write(0, b"q" * PAGE_SIZE)
+        key = handle.state.file_key
+        first = list(cluster.namenode.block_map.block(key, 0).holders)[0]
+        cluster.world.nodes[first].crash()
+        with user.activate():
+            assert handle.read(0, 8) == b"q" * 8
+        assert cluster.world.counters.get("shard.read_failover") == 1
+
+    def test_read_unavailable_when_no_replica_reachable(self, user):
+        cluster = make_cluster(replication=1, write_quorum=1)
+        user = cluster.world.create_user_domain(cluster.client)
+        with user.activate():
+            handle = cluster.layer.create_file("f.dat")
+            handle.write(0, bytes(PAGE_SIZE))
+        key = handle.state.file_key
+        holder = next(iter(cluster.namenode.block_map.block(key, 0).holders))
+        cluster.world.nodes[holder].crash()
+        with user.activate():
+            with pytest.raises(QuorumReadError):
+                handle.read(0, 16)
+        assert cluster.world.counters.get("shard.read_unavailable") == 1
+
+    def test_read_quorum_two_cross_checks_replicas(self, user):
+        cluster = make_cluster(read_quorum=2)
+        user = cluster.world.create_user_domain(cluster.client)
+        with user.activate():
+            handle = cluster.layer.create_file("f.dat")
+            handle.write(0, b"rq" * (PAGE_SIZE // 2))
+            assert handle.read(0, 4) == b"rqrq"
+        # Two replies per located block: the read's message count shows
+        # the second replica was consulted.
+        pair = cluster.world.network.per_pair
+        readers = [
+            pair.get(("client", f"dn{i}"), 0) for i in range(3)
+        ]
+        assert sum(1 for count in readers if count > 0) >= 2
+
+
+class TestRepairAndRebalance:
+    def test_re_replication_after_crash_recovery(self, cluster, user):
+        with user.activate():
+            handle = cluster.layer.create_file("f.dat")
+            handle.write(0, b"a" * (2 * PAGE_SIZE))
+        cluster.datanode_nodes[1].crash()
+        with user.activate():
+            handle.write(0, b"b" * (2 * PAGE_SIZE))
+        cluster.namenode.heartbeat_scan()  # notice the crash
+        # The target degrades to the live population: 2 live replicas
+        # of 2 live nodes is not a deficit the NameNode can act on.
+        assert cluster.namenode.under_replicated_count() == 0
+        cluster.datanode_nodes[1].recover()
+        cluster.namenode.heartbeat_scan()  # notice the recovery
+        cluster.namenode.repair()
+        assert cluster.namenode.fully_replicated()
+        assert cluster.world.counters.get("shard.nn.re_replications") >= 2
+        # The recovered node really holds the committed versions.
+        key = handle.state.file_key
+        committed = cluster.namenode.block_map.block(key, 0).version
+        assert cluster.datanodes["dn1"].stored_version(key, 0) == committed
+
+    def test_under_replication_visible_only_once_node_returns(self, cluster, user):
+        """With 2 of 3 nodes live the target degrades to 2 replicas
+        (nowhere to put a third); the deficit appears when the third
+        node returns, and repair clears it."""
+        cluster.datanode_nodes[2].crash()
+        cluster.namenode.heartbeat_scan()
+        with user.activate():
+            handle = cluster.layer.create_file("f.dat")
+            handle.write(0, bytes(PAGE_SIZE))
+        assert cluster.namenode.under_replicated_count() == 0
+        cluster.datanode_nodes[2].recover()
+        cluster.namenode.heartbeat_scan()
+        assert cluster.namenode.under_replicated_count() == 0  # scan repaired it
+        assert cluster.namenode.fully_replicated()
+        del handle
+
+    def test_rebalancer_spreads_skewed_placement(self, user):
+        cluster = make_cluster(datanodes=4, replication=1, write_quorum=1)
+        user = cluster.world.create_user_domain(cluster.client)
+        # Skew: write 8 blocks while only dn0 is live.
+        for node in cluster.datanode_nodes[1:]:
+            node.crash()
+        cluster.namenode.heartbeat_scan()
+        with user.activate():
+            handle = cluster.layer.create_file("f.dat")
+            handle.write(0, bytes(8 * PAGE_SIZE))
+        assert cluster.datanodes["dn0"].stored_blocks() == 8
+        for node in cluster.datanode_nodes[1:]:
+            node.recover()
+        cluster.namenode.heartbeat_scan()
+        cluster.namenode.rebalance(max_moves=16)
+        counts = {
+            name: cluster.namenode.block_map.blocks_held_by(name)
+            for name in cluster.datanodes
+        }
+        assert max(counts.values()) - min(counts.values()) < 2
+        with user.activate():
+            assert handle.read(0, 8 * PAGE_SIZE) == bytes(8 * PAGE_SIZE)
+
+
+class TestConfiguration:
+    def test_write_quorum_above_replication_rejected(self):
+        with pytest.raises(StackingError):
+            make_cluster(replication=3, write_quorum=4)
+
+    def test_read_quorum_above_replication_rejected(self):
+        with pytest.raises(StackingError):
+            make_cluster(replication=2, write_quorum=1, read_quorum=3)
+
+    def test_zero_write_quorum_rejected(self):
+        with pytest.raises(StackingError):
+            make_cluster(write_quorum=0)
+
+    def test_no_datanodes_rejected(self):
+        with pytest.raises(StackingError):
+            make_cluster(datanodes=0, replication=1, write_quorum=1)
+
+    def test_replication_above_datanode_count_degrades(self, user):
+        """R=3 on a 2-node cluster writes both replicas and is counted
+        fully replicated — the target caps at the live population."""
+        cluster = make_cluster(datanodes=2, replication=3, write_quorum=2)
+        user = cluster.world.create_user_domain(cluster.client)
+        with user.activate():
+            handle = cluster.layer.create_file("f.dat")
+            handle.write(0, b"d" * PAGE_SIZE)
+            assert handle.read(0, 4) == b"dddd"
+        key = handle.state.file_key
+        assert len(cluster.namenode.block_map.block(key, 0).holders) == 2
+        assert cluster.namenode.fully_replicated()
+
+    def test_single_node_degenerates_to_plain_dfs(self, user):
+        cluster = make_cluster(datanodes=1, replication=1, write_quorum=1)
+        user = cluster.world.create_user_domain(cluster.client)
+        payload = bytes(range(256)) * (3 * PAGE_SIZE // 256)
+        with user.activate():
+            handle = cluster.layer.create_file("f.dat")
+            handle.write(0, payload)
+            assert handle.read(0, len(payload)) == payload
+        assert cluster.datanodes["dn0"].stored_blocks() == 3
+
+
+class TestDataNodeVersioning:
+    def test_put_below_or_at_stored_version_skips_but_acks(self, cluster):
+        service = cluster.datanodes["dn0"]
+        acks = service.put_blocks("k", [(0, b"new" + bytes(PAGE_SIZE - 3), 2)])
+        assert acks == [(0, 2)]
+        # Replay of the same version: acked, not applied.
+        acks = service.put_blocks("k", [(0, b"dup" + bytes(PAGE_SIZE - 3), 2)])
+        assert acks == [(0, 2)]
+        # An older version: acked at the stored version, not applied.
+        acks = service.put_blocks("k", [(0, b"old" + bytes(PAGE_SIZE - 3), 1)])
+        assert acks == [(0, 2)]
+        [(_, data, version)] = service.get_blocks("k", [0])
+        assert bytes(data[:3]) == b"new"
+        assert version == 2
+        counters = cluster.world.counters
+        assert counters.get("shard.dn.put_applied") == 1
+        assert counters.get("shard.dn.put_skipped") == 2
+
+    def test_pull_block_copies_from_peer(self, cluster):
+        source = cluster.datanodes["dn0"]
+        target = cluster.datanodes["dn1"]
+        source.put_blocks("k", [(5, b"peer" + bytes(PAGE_SIZE - 4), 3)])
+        assert target.pull_block("k", 5, source) == 3
+        assert target.stored_version("k", 5) == 3
+        assert cluster.world.counters.get("shard.dn.pulled") == 1
+
+
+class TestMappedPath:
+    def test_vmm_mapping_faults_through_shards(self, cluster, user):
+        with user.activate():
+            handle = cluster.layer.create_file("m.dat")
+            handle.write(0, b"s" * (2 * PAGE_SIZE))
+            aspace = cluster.client.vmm.create_address_space("a")
+            mapping = aspace.map(handle, AccessRights.READ_WRITE)
+            assert mapping.read(0, 4) == b"ssss"
+            mapping.write(10, b"dirty")
+            # The coherent read recalls the dirty mapped page and
+            # pushes it to the shards before serving.
+            assert handle.read(10, 5) == b"dirty"
+        assert cluster.world.counters.get("shardfs.page_in") >= 1
+
+    def test_determinism_across_identical_runs(self):
+        def run():
+            cluster = make_cluster()
+            user = cluster.world.create_user_domain(cluster.client)
+            plan = FaultPlan(seed=5)
+            plan.crash(
+                "dn2",
+                at_us=cluster.world.clock.now_us + 5_000.0,
+                recover_at_us=cluster.world.clock.now_us + 40_000.0,
+            )
+            cluster.world.install_fault_plan(plan)
+            with user.activate():
+                handle = cluster.layer.create_file("d.dat")
+                for i in range(12):
+                    handle.write(i * PAGE_SIZE, bytes([i]) * PAGE_SIZE)
+                    handle.read(0, PAGE_SIZE)
+            cluster.namenode.heartbeat_scan()
+            cluster.namenode.repair()
+            return (
+                cluster.world.clock.now_us,
+                cluster.world.network.messages,
+                cluster.world.counters.snapshot(),
+            )
+
+        assert run() == run()
+
+
+class TestShardBenchmarkBars:
+    """The ISSUE's acceptance bars for the reference shard schedule
+    (one datanode crashed mid-write over a 100-op striped workload),
+    asserted against the committed BENCH_shard.json."""
+
+    @pytest.fixture(scope="class")
+    def record(self):
+        from benchmarks.bench_dfs_shard import build_record
+
+        return build_record()
+
+    def test_quorum_cell_completes_everything(self, record):
+        quorum = record["cells"]["quorum"]
+        assert quorum["availability_pct"] == 100.0
+        assert quorum["failed"] == 0
+
+    def test_quorum_cell_returns_to_full_replication(self, record):
+        quorum = record["cells"]["quorum"]
+        assert quorum["fully_replicated"] is True
+        assert quorum["under_replicated"] == 0
+        assert quorum["re_replications"] > 0
+
+    def test_single_replica_cell_loses_operations(self, record):
+        single = record["cells"]["single_replica"]
+        assert single["failed"] >= 10
+
+    def test_both_cells_saw_the_schedule(self, record):
+        for cell in record["cells"].values():
+            assert cell["faults_applied"] == {"crashes": 1, "recoveries": 1}
+
+    def test_record_matches_committed_bytes(self, record):
+        from benchmarks.emit_common import dump_record
+
+        assert dump_record(record) == (BENCH / "BENCH_shard.json").read_text()
