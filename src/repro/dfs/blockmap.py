@@ -8,10 +8,22 @@ on an ordered set of datanodes.  The map records, per block:
   committed once at least one datanode durably acknowledged it (the
   client's W-of-R quorum is the availability contract on top; see
   ``docs/DISTRIBUTED.md``);
+* ``prepared`` — the highest version ever *handed out* for the block.
+  Version numbers are never reused: a prepare whose commit was lost
+  still burned its version, so the next prepare moves past it instead
+  of reissuing the same number for different bytes;
 * ``holders`` — datanode name -> the version that node last
   acknowledged.  A holder whose version lags ``version`` is *stale*
   (it missed a write while crashed or unreachable) and must not serve
   reads until the re-replication pass catches it up.
+
+A truncate drops blocks from the map, but their version numbers must
+stay burned: an unreachable holder may keep an orphaned replica at the
+old version, and if a re-created block restarted at version 1 the
+orphan's skip-but-ack would count toward the new write's quorum and its
+stale bytes would be served as current.  ``drop_from`` therefore folds
+the dropped blocks' high-water marks into a per-file floor, and blocks
+created later start their ``prepared`` from it.
 
 Everything here is plain data so the NameNode's state machines
 (placement, repair, rebalance) stay unit-testable without a network.
@@ -29,8 +41,16 @@ class BlockInfo:
 
     #: Latest committed version; 0 = never written (reads serve zeros).
     version: int = 0
+    #: Highest version ever assigned by a prepare (>= ``version``);
+    #: the next prepare hands out ``prepared + 1``.
+    prepared: int = 0
     #: datanode name -> version that node last acknowledged.
     holders: Dict[str, int] = dataclasses.field(default_factory=dict)
+
+    def next_version(self) -> int:
+        """Assign (and burn) the next write version for this block."""
+        self.prepared = max(self.prepared, self.version) + 1
+        return self.prepared
 
     def current_holders(self) -> List[str]:
         """Holders whose copy is at the committed version, in
@@ -48,6 +68,10 @@ class BlockMap:
 
     def __init__(self) -> None:
         self._files: Dict[Hashable, Dict[int, BlockInfo]] = {}
+        #: Per-file version floor: the highest version ever assigned to
+        #: a since-dropped block of the file.  New blocks start their
+        #: ``prepared`` here so truncate can never un-burn a version.
+        self._floors: Dict[Hashable, int] = {}
 
     def block(
         self, file_key: Hashable, index: int, create: bool = False
@@ -59,8 +83,14 @@ class BlockMap:
             blocks = self._files[file_key] = {}
         info = blocks.get(index)
         if info is None and create:
-            info = blocks[index] = BlockInfo()
+            info = blocks[index] = BlockInfo(
+                prepared=self._floors.get(file_key, 0)
+            )
         return info
+
+    def version_floor(self, file_key: Hashable) -> int:
+        """The file's burned-version floor (0 if never truncated)."""
+        return self._floors.get(file_key, 0)
 
     def blocks(self) -> Iterator[Tuple[Hashable, int, BlockInfo]]:
         """All (file_key, index, info) triples, in deterministic
@@ -74,11 +104,20 @@ class BlockMap:
     ) -> List[Tuple[int, BlockInfo]]:
         """Remove every block of ``file_key`` at or past ``first_index``
         (a truncate); returns the dropped (index, info) pairs so the
-        caller can delete the replicas."""
+        caller can delete the replicas.  The dropped blocks' version
+        high-water marks fold into the file's floor, so a block
+        re-created at the same index resumes *past* them — an orphaned
+        replica on an unreachable holder can never ack a reissued
+        version."""
         blocks = self._files.get(file_key)
         if not blocks:
             return []
         dropped = [(i, blocks.pop(i)) for i in sorted(blocks) if i >= first_index]
+        if dropped:
+            burned = max(max(info.prepared, info.version) for _, info in dropped)
+            self._floors[file_key] = max(
+                self._floors.get(file_key, 0), burned
+            )
         return dropped
 
     def blocks_held_by(self, name: str) -> int:

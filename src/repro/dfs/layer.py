@@ -17,7 +17,8 @@ Quorum contract (SNIPPETS Snippet 1's read/write-quorum idiom):
 * reads need ``read_quorum`` replies per block (default 1 — the
   NameNode only lists *current* holders, so one reply is already
   consistent; a higher read quorum cross-checks versions and takes the
-  highest);
+  highest), degrading to the holders actually reachable — like the
+  write side — so a read fails only when *no* current replica answers;
 * misconfigurations (W > R, read quorum > R) are rejected at
   ``stack_on`` time with :class:`~repro.errors.StackingError`.
 
@@ -107,8 +108,12 @@ class ShardedOps(ChannelOps):
             self.writeback_bookkeeping(
                 state, self.requester(source_key, pager_object), offset, size, retain
             )
+        # Page-granular flushes never grow the file: the VMM writes back
+        # whole pages, so an unaligned file would get its length rounded
+        # up to the page boundary (and serve trailing zeros as content).
+        # Length grows only on the byte-precise file_write/set_length
+        # paths — same contract as the base ChannelOps.page_out.
         self.layer.shard_write(state, offset, data)
-        self.layer.note_written(state, offset + size)
 
     # page_out_range needs no override: the spine hands whole runs to
     # the page_out override of a transforming layer.
@@ -188,13 +193,15 @@ class ShardedDfsLayer(BaseLayer):
             return
         data = b"".join(bytes(chunk) for _, chunk in run)
         offset = run[0][0] * PAGE_SIZE
+        # Like page_out: recalled dirty pages are whole pages and must
+        # not grow an unaligned file's length.
         self.shard_write(state, offset, data)
-        self.note_written(state, offset + len(data))
         run.clear()
 
     def note_written(self, state, end: int) -> None:
-        """A write reached byte ``end``; grow the (metadata) length if
-        it extended the file."""
+        """A byte-precise write reached ``end``; grow the (metadata)
+        length if it extended the file.  Only ``file_write`` calls this
+        — page-granular flush paths never change the length."""
         if end > state.length:
             state.length = end
             state.under_file.set_length(end)
@@ -271,7 +278,13 @@ class ShardedDfsLayer(BaseLayer):
         """Fetch ``count`` whole blocks starting at ``first``: locate,
         batch one ``get_blocks`` per datanode, fail over down each
         block's holder list, and (for read quorums > 1) pick the highest
-        version among the quorum's replies."""
+        version among the quorum's replies.
+
+        The read quorum degrades to the holders actually reachable —
+        mirroring the write-side clamp — so a cross-checking read
+        (``read_quorum > 1``) still succeeds during a holder outage as
+        long as one current replica answers (``shard.read_degraded``).
+        Only a block with *no* reachable current holder fails the read."""
         counters = self.world.counters
         locations = self.namenode.locate_range(state.file_key, first, count)
         out: Dict[int, object] = {}
@@ -288,17 +301,28 @@ class ShardedDfsLayer(BaseLayer):
             # One batched round: each unsatisfied block asks its next
             # untried holder; requests are grouped per datanode.
             per_node: Dict[str, List[int]] = {}
-            for index, entry in pending.items():
-                _, names, position, _ = entry
+            for index in list(pending):
+                entry = pending[index]
+                _, names, position, replies = entry
                 while position < len(names) and names[position] in dead:
                     position += 1
-                entry[2] = position + 1
                 if position >= len(names):
+                    if replies:
+                        # Every untried holder is unreachable: degrade
+                        # the quorum to the replies in hand (the write
+                        # side clamps W to available targets the same
+                        # way) and serve the highest version seen.
+                        replies.sort(key=lambda pair: pair[0])
+                        out[index] = replies[-1][1]
+                        counters.inc("shard.read_degraded")
+                        del pending[index]
+                        continue
                     counters.inc("shard.read_unavailable")
                     raise QuorumReadError(
                         f"block {index} of {state.file_key!r}: no reachable "
                         f"current replica (holders {names})"
                     )
+                entry[2] = position + 1
                 per_node.setdefault(names[position], []).append(index)
             with self.fanout_region():
                 for name, indices in per_node.items():
@@ -387,8 +411,16 @@ class ShardedDfsLayer(BaseLayer):
                     counters.inc("shard.write_failover")
                     continue
                 for index, stored in acks:
-                    if stored >= targets[index][0]:
+                    if stored == targets[index][0]:
                         acked[index].append(name)
+                    elif stored > targets[index][0]:
+                        # The replica holds a version the NameNode never
+                        # told us about (an orphan from a truncate whose
+                        # delete could not reach it, or a concurrent
+                        # writer).  Its bytes are not ours: counting it
+                        # toward the quorum would mark stale data
+                        # current, so treat it as a conflict instead.
+                        counters.inc("shard.write_conflicts")
         self.namenode.commit_write(
             state.file_key,
             [(index, targets[index][0], acked[index]) for index in chunks],

@@ -144,6 +144,13 @@ class NameNodeService(SpringObject):
         datanodes.  Dead holders stay listed: the client's per-target
         failover decides what actually acks, and the quorum decides
         whether that was enough.
+
+        Every version handed out is *burned* (``BlockInfo.prepared``,
+        surviving truncate via the block map's per-file floor): a
+        prepare whose commit never lands, or whose block is later
+        dropped and re-created, can never cause the same version number
+        to name two different byte strings — the invariant the
+        datanodes' skip-but-ack idempotence relies on.
         """
         self._maybe_scan()
         live = self._live()
@@ -159,7 +166,7 @@ class NameNodeService(SpringObject):
                         targets.append(candidate)
                     if len(targets) >= self.replication:
                         break
-            out.append((index, info.version + 1, targets))
+            out.append((index, info.next_version(), targets))
         return out
 
     @operation
@@ -179,6 +186,7 @@ class NameNodeService(SpringObject):
             info = self.block_map.block(file_key, index, create=True)
             if version > info.version:
                 info.version = version
+            info.prepared = max(info.prepared, version)
             for name in acked:
                 info.holders[name] = max(info.holders.get(name, 0), version)
 
@@ -224,8 +232,11 @@ class NameNodeService(SpringObject):
                 entry.service.delete_blocks(file_key, indices)
             except TransientNetworkError:
                 # Unreachable holder: its orphaned replicas are dropped
-                # from the map; a later write to those indices assigns a
-                # higher version, which supersedes the orphans.
+                # from the map but their versions stay burned (the block
+                # map's per-file floor), so a later write to those
+                # indices is guaranteed a strictly higher version — the
+                # orphan gets overwritten or ignored, never acked as
+                # current.
                 continue
 
     # ------------------------------------------------------------- repair
@@ -337,7 +348,13 @@ class NameNodeService(SpringObject):
 
     def _move_one(self, source: DataNodeEntry, target: DataNodeEntry) -> bool:
         """Migrate one committed replica from ``source`` to ``target``:
-        copy, record, then delete the source copy."""
+        copy, record the new holder, then delete the source copy.  The
+        copy is recorded the moment it lands — before the delete — so a
+        source that dies mid-move leaves no unrecorded replica behind
+        (an orphan at the committed version would feed the version-reuse
+        hazard and leak storage).  The delete is best-effort: if it
+        cannot reach the source, both copies stay recorded and the
+        surplus is cleaned up by a later pass."""
         for file_key, index, info in self.block_map.blocks():
             if target.name in info.holders:
                 continue
@@ -345,11 +362,18 @@ class NameNodeService(SpringObject):
                 continue
             try:
                 stored = target.service.pull_block(file_key, index, source.service)
-                source.service.delete_blocks(file_key, [index])
             except TransientNetworkError:
                 return False
-            del info.holders[source.name]
             info.holders[target.name] = stored
+            try:
+                source.service.delete_blocks(file_key, [index])
+            except TransientNetworkError:
+                # Source unreachable after the copy landed: keep it in
+                # the holder set (its replica still exists) and let the
+                # move count — the target now holds the block.
+                pass
+            else:
+                del info.holders[source.name]
             self.world.counters.inc("shard.nn.rebalanced")
             return True
         return False

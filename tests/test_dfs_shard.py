@@ -14,7 +14,7 @@ from repro.dfs import (
     QuorumWriteError,
     create_sharded_dfs,
 )
-from repro.errors import StackingError
+from repro.errors import StackingError, TransientNetworkError
 from repro.sim.faults import FaultPlan
 from repro.types import PAGE_SIZE, AccessRights
 from repro.world import World
@@ -195,6 +195,23 @@ class TestQuorumRead:
                 handle.read(0, 16)
         assert cluster.world.counters.get("shard.read_unavailable") == 1
 
+    def test_read_quorum_degrades_to_reachable_holders(self, user):
+        """read_quorum=2 with only one of three holders reachable:
+        the quorum clamps to the live population (like the write side)
+        instead of failing a read a current replica could serve."""
+        cluster = make_cluster(read_quorum=2)
+        user = cluster.world.create_user_domain(cluster.client)
+        with user.activate():
+            handle = cluster.layer.create_file("f.dat")
+            handle.write(0, b"rd" * (PAGE_SIZE // 2))
+        cluster.datanode_nodes[1].crash()
+        cluster.datanode_nodes[2].crash()
+        with user.activate():
+            assert handle.read(0, 4) == b"rdrd"
+        counters = cluster.world.counters
+        assert counters.get("shard.read_degraded") == 1
+        assert counters.get("shard.read_unavailable") == 0
+
     def test_read_quorum_two_cross_checks_replicas(self, user):
         cluster = make_cluster(read_quorum=2)
         user = cluster.world.create_user_domain(cluster.client)
@@ -249,6 +266,42 @@ class TestRepairAndRebalance:
         assert cluster.namenode.fully_replicated()
         del handle
 
+    def test_move_records_target_when_source_delete_fails(self, user, monkeypatch):
+        """A rebalance move whose source delete is lost must still have
+        recorded the new replica (no unrecorded orphan on the target)
+        and must keep the source holder until a delete succeeds."""
+        cluster = make_cluster(datanodes=2, replication=1, write_quorum=1)
+        user = cluster.world.create_user_domain(cluster.client)
+        cluster.datanode_nodes[1].crash()
+        cluster.namenode.heartbeat_scan()
+        payload = bytes(range(256)) * (4 * PAGE_SIZE // 256)
+        with user.activate():
+            handle = cluster.layer.create_file("f.dat")
+            handle.write(0, payload)
+        assert cluster.datanodes["dn0"].stored_blocks() == 4
+        cluster.datanode_nodes[1].recover()
+
+        def lost_delete(file_key, indices):
+            raise TransientNetworkError("source delete lost")
+
+        monkeypatch.setattr(cluster.datanodes["dn0"], "delete_blocks", lost_delete)
+        cluster.namenode.heartbeat_scan()
+        cluster.namenode.rebalance(max_moves=1)
+        key = handle.state.file_key
+        moved = [
+            (index, info)
+            for _, index, info in cluster.namenode.block_map.blocks()
+            if "dn1" in info.holders
+        ]
+        assert moved  # copies landed and were recorded...
+        for _, info in moved:
+            assert info.holders["dn1"] == info.version
+            assert "dn0" in info.holders  # ...and the source stays listed
+        assert cluster.datanodes["dn1"].stored_blocks() == len(moved)
+        with user.activate():
+            assert handle.read(0, len(payload)) == payload
+        del key
+
     def test_rebalancer_spreads_skewed_placement(self, user):
         cluster = make_cluster(datanodes=4, replication=1, write_quorum=1)
         user = cluster.world.create_user_domain(cluster.client)
@@ -271,6 +324,62 @@ class TestRepairAndRebalance:
         assert max(counts.values()) - min(counts.values()) < 2
         with user.activate():
             assert handle.read(0, 8 * PAGE_SIZE) == bytes(8 * PAGE_SIZE)
+
+
+class TestVersionBurning:
+    """Version numbers are never reused — the invariant the datanodes'
+    skip-but-ack idempotence rests on."""
+
+    def test_prepare_burns_versions_without_commit(self, cluster):
+        """A prepare whose commit never lands still consumed its
+        version: the next prepare must move past it, or two different
+        byte strings could share one version and replicas diverge."""
+        nn = cluster.namenode
+        v1 = nn.prepare_write_range("k", 0, 1)[0][1]
+        v2 = nn.prepare_write_range("k", 0, 1)[0][1]
+        assert (v1, v2) == (1, 2)
+        nn.commit_write("k", [(0, v2, ["dn0"])])
+        info = nn.block_map.block("k", 0)
+        assert info.version == 2
+        assert info.prepared == 2
+
+    def test_blockmap_floor_survives_drop(self):
+        from repro.dfs.blockmap import BlockMap
+
+        bm = BlockMap()
+        info = bm.block("f", 0, create=True)
+        info.prepared = info.version = 3
+        bm.drop_from("f", 0)
+        assert bm.version_floor("f") == 3
+        fresh = bm.block("f", 0, create=True)
+        assert fresh.version == 0  # never written: still reads as zeros
+        assert fresh.next_version() == 4  # but versions resume past the floor
+
+    def test_truncate_orphan_never_acks_reissued_version(self, cluster, user):
+        """Truncate with an unreachable holder leaves an orphan replica
+        behind; the re-created block must be written at a strictly
+        higher version so the orphan is overwritten, not skip-but-acked
+        into the new write's quorum (which would mark its stale bytes
+        current)."""
+        with user.activate():
+            handle = cluster.layer.create_file("f.dat")
+            handle.write(0, b"o" * (2 * PAGE_SIZE))
+        key = handle.state.file_key
+        cluster.datanode_nodes[1].crash()
+        with user.activate():
+            handle.set_length(PAGE_SIZE)  # dn1 unreachable: orphan stays
+        assert cluster.datanodes["dn1"].stored_version(key, 1) == 1
+        assert cluster.namenode.block_map.block(key, 1) is None
+        cluster.datanode_nodes[1].recover()
+        with user.activate():
+            handle.set_length(2 * PAGE_SIZE)
+            handle.write(PAGE_SIZE, b"N" * PAGE_SIZE)
+        info = cluster.namenode.block_map.block(key, 1)
+        assert info.version == 2  # past the orphan's burned version
+        # The put superseded the orphan everywhere, including dn1.
+        assert cluster.datanodes["dn1"].stored_version(key, 1) == 2
+        with user.activate():
+            assert handle.read(PAGE_SIZE, 4) == b"NNNN"
 
 
 class TestConfiguration:
@@ -354,6 +463,26 @@ class TestMappedPath:
             # pushes it to the shards before serving.
             assert handle.read(10, 5) == b"dirty"
         assert cluster.world.counters.get("shardfs.page_in") >= 1
+
+    def test_unaligned_length_survives_mapped_flush(self, cluster, user):
+        """The VMM flushes whole pages; an unaligned file's length must
+        not be rounded up to the page boundary when a dirty mapped page
+        is recalled or synced (trailing zeros would become content)."""
+        with user.activate():
+            handle = cluster.layer.create_file("u.dat")
+            handle.write(0, b"u" * 100)
+            aspace = cluster.client.vmm.create_address_space("ua")
+            mapping = aspace.map(handle, AccessRights.READ_WRITE)
+            mapping.write(10, b"dirty")
+            # Coherent read recalls the dirty page and pushes the whole
+            # page to the shards.
+            assert handle.read(10, 5) == b"dirty"
+            assert handle.get_length() == 100
+            handle.sync()
+            assert handle.get_length() == 100
+            # Reads clamp at the true EOF — no page-tail zeros served.
+            back = handle.read(0, PAGE_SIZE)
+        assert back == b"u" * 10 + b"dirty" + b"u" * 85
 
     def test_determinism_across_identical_runs(self):
         def run():
