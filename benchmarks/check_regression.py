@@ -28,6 +28,10 @@ Headline metrics:
   replication work).  Availability carries a zero tolerance — the
   quorum cell's contract is 100%, and *any* failed op is a protocol
   regression, not noise; the deterministic p99 gets the default.
+* ``BENCH_volume.json`` — mount/remount and cold-stat costs of
+  image-backed persistent volumes (the point of the pluggable
+  block-store work): mount time and reads must not grow beyond the
+  i-node-table scan, and the clean-unmount flush must stay bounded.
 
 Usage (from the repo root)::
 
@@ -88,6 +92,14 @@ HEADLINE = [
      "cells.quorum.p99_ms", "lower", None),
     ("BENCH_shard.json", "benchmarks.bench_dfs_shard",
      "cells.quorum.elapsed_ms", "lower", None),
+    ("BENCH_volume.json", "benchmarks.bench_volume_persist",
+     "cells.10k.mount_us", "lower", None),
+    ("BENCH_volume.json", "benchmarks.bench_volume_persist",
+     "cells.10k.cold_stat_us", "lower", None),
+    ("BENCH_volume.json", "benchmarks.bench_volume_persist",
+     "cells.100k.mount_reads", "lower", None),
+    ("BENCH_volume.json", "benchmarks.bench_volume_persist",
+     "cells.100k.unmount_writes", "lower", None),
 ]
 
 

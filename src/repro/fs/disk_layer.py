@@ -323,3 +323,17 @@ class DiskLayer(BaseLayer):
     # --- fs ------------------------------------------------------------------------------
     def _sync_impl(self) -> None:
         self.volume.sync()
+
+    # --- mount lifecycle -----------------------------------------------------------------
+    def unmount(self) -> int:
+        """Cleanly detach the on-disk state: ordered metadata flush, then
+        the superblock goes CLEAN (see :meth:`repro.storage.volume.Volume.unmount`).
+        The layer stays usable; the next mutation lazily re-dirties the
+        superblock.  Returns blocks written."""
+        return self.volume.unmount()
+
+    def remount(self) -> None:
+        """Drop all in-memory volume state and re-mount from the device —
+        the in-process equivalent of a reboot of this layer's server."""
+        self.volume = Volume.mount(self.device)
+        self._root = DiskDirectory(self, self.volume.sb.root_ino)

@@ -383,3 +383,17 @@ class MonolithicSfs(BaseLayer):
         for ino in list(self._states):
             if self.volume.iget(ino).allocated:
                 self.file_sync(ino)
+
+    # --- mount lifecycle --------------------------------------------------------
+    def unmount(self) -> int:
+        """Flush every cached page and all metadata, then mark the
+        volume CLEAN.  Returns blocks written."""
+        self.sync_fs()
+        return self.volume.unmount()
+
+    def remount(self) -> None:
+        """Drop in-memory volume state (and the page cache — its i-node
+        keys may not survive a repair) and re-mount from the device."""
+        self._states.clear()
+        self._states_by_source.clear()
+        self.volume = Volume.mount(self.device)

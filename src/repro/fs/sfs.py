@@ -44,6 +44,28 @@ class SfsStack:
     coherency_layer: Optional[CoherencyLayer]
     placement: str
 
+    @property
+    def volume(self):
+        """The on-disk volume at the bottom of this stack."""
+        bottom = self.disk_layer if self.disk_layer is not None else self.top
+        return bottom.volume  # type: ignore[attr-defined]
+
+    def unmount(self) -> int:
+        """Quiesce the whole stack: push dirty pages and attributes down
+        every layer (``sync_fs``), then cleanly unmount the volume —
+        ordered metadata flush, CLEAN superblock, backing-store flush.
+        The stack stays usable afterwards (the superblock is lazily
+        re-dirtied on the next mutation).  Returns blocks written."""
+        self.top.sync_fs()
+        bottom = self.disk_layer if self.disk_layer is not None else self.top
+        return bottom.unmount()  # type: ignore[attr-defined]
+
+    def remount(self) -> None:
+        """Re-mount the volume from its device, dropping the bottom
+        layer's in-memory metadata state (in-process reboot aid)."""
+        bottom = self.disk_layer if self.disk_layer is not None else self.top
+        bottom.remount()  # type: ignore[attr-defined]
+
 
 def _server_domain(node: Node, name: str) -> Domain:
     return node.create_domain(name, Credentials(name, privileged=True))

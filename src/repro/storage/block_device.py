@@ -5,6 +5,15 @@ transfer charges seek + average rotational latency + media transfer to
 the virtual clock, which is what makes the uncached rows of Table 2
 disk-bound.  A zero-latency :class:`RamDevice` variant exists for
 ablations and for tests that exercise logic rather than cost.
+
+Where the block bytes actually live is delegated to a pluggable
+:class:`~repro.storage.blockstore.BlockStore`: the default
+:class:`~repro.storage.blockstore.MemoryBlockStore` keeps the classic
+in-memory dict (volatile, exactly as before), while an
+:class:`~repro.storage.blockstore.ImageBlockStore` puts the same block
+array in a sparse disk-image file so volumes survive process restarts.
+Latency charging, ``ServiceQueue`` integration, and fault injection are
+backend-independent — they live here, above the store.
 """
 
 from __future__ import annotations
@@ -14,6 +23,7 @@ from typing import TYPE_CHECKING, Dict, Optional
 from repro.errors import DeviceError
 from repro.ipc.invocation import operation
 from repro.ipc.object import SpringObject
+from repro.storage.blockstore import BlockStore, MemoryBlockStore
 from repro.types import PAGE_SIZE
 from repro.vm.page import ZERO_PAGE
 
@@ -28,13 +38,21 @@ class BlockDevice(SpringObject):
         self,
         domain,
         name: str,
-        num_blocks: int,
+        num_blocks: int = 0,
         block_size: int = PAGE_SIZE,
         charge_latency: bool = True,
+        store: Optional[BlockStore] = None,
     ) -> None:
         super().__init__(domain)
+        if store is not None:
+            # The backend owns the geometry; the device adopts it.
+            num_blocks = store.num_blocks
+            block_size = store.block_size
         if num_blocks <= 0 or block_size <= 0:
             raise DeviceError("device geometry must be positive")
+        if store is None:
+            store = MemoryBlockStore(num_blocks, block_size)
+        self.store = store
         self.name = name
         self.num_blocks = num_blocks
         self.block_size = block_size
@@ -44,11 +62,15 @@ class BlockDevice(SpringObject):
         self._zero_block = (
             ZERO_PAGE if block_size == PAGE_SIZE else bytes(block_size)
         )
-        self._blocks: Dict[int, bytes] = {}
         self.reads = 0
         self.writes = 0
         #: Failure injection: block index -> error message.
         self._bad_blocks: Dict[int, str] = {}
+        #: Power-failure injection: None = off; an int = writes left
+        #: before the simulated power cut (see
+        #: :meth:`inject_power_failure_after`).
+        self._power_countdown: Optional[int] = None
+        self._power_failed = False
         #: Transfer queue (concurrent mode): None — the default — means
         #: transfers never contend, which is the sequential calibration
         #: behaviour.  Install one with :meth:`install_queue` to model a
@@ -87,6 +109,17 @@ class BlockDevice(SpringObject):
                 f"{self._bad_blocks[index]}"
             )
 
+    def _power_check(self) -> None:
+        """Write-side power-cut gate: after the countdown runs out the
+        write — and every later write — fails without reaching the
+        store, leaving it exactly as a torn flush would."""
+        if self._power_countdown is None and not self._power_failed:
+            return
+        if self._power_failed or self._power_countdown <= 0:
+            self._power_failed = True
+            raise DeviceError(f"simulated power failure on {self.name!r}")
+        self._power_countdown -= 1
+
     def _charge(self) -> None:
         self._enqueue(self.block_size)
         if self.charge_latency:
@@ -99,7 +132,7 @@ class BlockDevice(SpringObject):
         self._check(index)
         self._charge()
         self.reads += 1
-        data = self._blocks.get(index)
+        data = self.store.read(index)
         if data is None:
             return self._zero_block
         return data
@@ -118,11 +151,7 @@ class BlockDevice(SpringObject):
         if self.charge_latency:
             self.world.charge.disk_io(count * self.block_size)
         self.reads += 1
-        out = bytearray()
-        for index in range(start, start + count):
-            data = self._blocks.get(index)
-            out += data if data is not None else self._zero_block
-        return bytes(out)
+        return self.store.read_run(start, count)
 
     @operation
     def write_blocks(self, start: int, data: bytes) -> None:
@@ -138,15 +167,13 @@ class BlockDevice(SpringObject):
         count = len(data) // self.block_size
         for index in range(start, start + count):
             self._check(index)
+        self._power_check()
         self._enqueue(len(data))
         if self.charge_latency:
             self.world.charge.disk_io(len(data))
         self.world.trace("disk", "transfer", device=self.name)
         self.writes += 1
-        for i in range(count):
-            self._blocks[start + i] = bytes(
-                data[i * self.block_size : (i + 1) * self.block_size]
-            )
+        self.store.write_run(start, data)
 
     @operation
     def write_block(self, index: int, data: bytes) -> None:
@@ -155,21 +182,30 @@ class BlockDevice(SpringObject):
             raise DeviceError(
                 f"write of {len(data)} bytes exceeds block size {self.block_size}"
             )
+        self._power_check()
         self._charge()
         self.writes += 1
-        # Materialize exactly once at the storage boundary: ``data`` may
-        # be a memoryview riding down from a page snapshot.
         size = len(data)
         if size < self.block_size:
             padded = bytearray(self.block_size)
             padded[:size] = data
-            self._blocks[index] = bytes(padded)
+            self.store.write(index, padded)
         else:
-            self._blocks[index] = bytes(data)
+            self.store.write(index, data)
 
     @operation
     def capacity_bytes(self) -> int:
         return self.num_blocks * self.block_size
+
+    # --- durability --------------------------------------------------------
+    def flush(self) -> None:
+        """Push the backend's buffered writes to its medium (no-op for
+        the in-memory store).  Not an operation: durability is free in
+        virtual time — the simulated cost was charged per transfer."""
+        self.store.flush()
+
+    def close(self) -> None:
+        self.store.close()
 
     # --- failure injection ------------------------------------------------------
     def inject_bad_block(self, index: int, reason: str = "media error") -> None:
@@ -178,14 +214,29 @@ class BlockDevice(SpringObject):
     def clear_bad_blocks(self) -> None:
         self._bad_blocks.clear()
 
+    def inject_power_failure_after(self, writes: int) -> None:
+        """Let ``writes`` more block writes succeed, then fail every
+        subsequent write — a deterministic crash-mid-flush.  Reads keep
+        working (the medium is intact; the machine is what died).
+        Recovery is modelled by building a fresh device over the same
+        store (same dict, or the reopened image file)."""
+        self._power_countdown = writes
+        self._power_failed = False
+
+    def clear_power_failure(self) -> None:
+        self._power_countdown = None
+        self._power_failed = False
+
     # --- test/introspection helpers (not operations) -----------------------------
     def peek(self, index: int) -> bytes:
         """Raw block contents without latency or stats — test aid."""
-        data = self._blocks.get(index)
+        data = self.store.read(index)
         return data if data is not None else bytes(self.block_size)
 
     def allocated_blocks(self) -> int:
-        return len(self._blocks)
+        """Blocks written through this store instance (for the memory
+        backend: exactly the blocks that exist)."""
+        return self.store.written_count()
 
 
 class RamDevice(BlockDevice):

@@ -72,6 +72,9 @@ class World:
         self.nodes: Dict[str, Node] = {}
         self._next_oid = 1
         self._name_caches: List[object] = []
+        #: Every mounted :class:`~repro.storage.volume.Volume`, so
+        #: :meth:`save` can quiesce the whole installation in one sweep.
+        self._volumes: List[object] = []
         #: Optional event tracing (see repro.sim.trace); None = off.
         self.tracer = None
         #: Optional invocation retry knobs (see repro.ipc.retry); None =
@@ -162,6 +165,61 @@ class World:
     def create_user_domain(self, node: Node, name: str = "user") -> Domain:
         """Convenience: an unprivileged client domain on ``node``."""
         return node.create_domain(name, Credentials(name, privileged=False))
+
+    # --- persistent worlds -----------------------------------------------------
+    def register_volume(self, volume: object) -> None:
+        """Track a mounted volume (Volume.mkfs/mount call this)."""
+        if volume not in self._volumes:
+            self._volumes.append(volume)
+
+    def create_image(
+        self,
+        domain: Domain,
+        path: str,
+        num_blocks: int,
+        block_size: int = 4096,
+        name: str = "img",
+    ):
+        """A :class:`~repro.storage.block_device.BlockDevice` over a NEW
+        sparse image file at ``path`` — format it with ``Volume.mkfs``
+        (or ``create_sfs(..., format_device=True)``) and the world's
+        file state survives this process."""
+        from repro.storage.block_device import BlockDevice
+        from repro.storage.blockstore import ImageBlockStore
+
+        store = ImageBlockStore.create(path, num_blocks, block_size)
+        return BlockDevice(domain, name, store=store)
+
+    def open_image(self, domain: Domain, path: str, name: str = "img"):
+        """A :class:`~repro.storage.block_device.BlockDevice` over an
+        EXISTING image file (geometry comes from the image header) —
+        mount it with ``Volume.mount`` or ``create_sfs(...,
+        format_device=False)`` to reopen a previously saved world."""
+        from repro.storage.block_device import BlockDevice
+        from repro.storage.blockstore import ImageBlockStore
+
+        return BlockDevice(domain, name, store=ImageBlockStore.open(path))
+
+    def save(self) -> int:
+        """Quiesce every file system in the installation: push dirty
+        pages and attributes down every bound stack (``sync_fs``), then
+        cleanly unmount every registered volume — ordered metadata
+        flush, CLEAN superblock, backing-store flush.  Volumes on image
+        devices are durable on disk afterwards.  The world stays usable:
+        the next mutation lazily re-dirties its volume's superblock.
+        Returns total blocks written."""
+        for node in self.nodes.values():
+            fs_context = getattr(node, "fs_context", None)
+            if fs_context is None:
+                continue
+            for _name, obj in fs_context.list_bindings():
+                sync = getattr(obj, "sync_fs", None)
+                if sync is not None:
+                    sync()
+        written = 0
+        for volume in self._volumes:
+            written += volume.unmount()  # type: ignore[attr-defined]
+        return written
 
     # --- name-cache invalidation fan-out ---------------------------------------
     def register_name_cache(self, cache: object) -> None:

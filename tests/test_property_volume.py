@@ -96,7 +96,7 @@ class TestVolumeAgainstOracle:
             inode = volume.create(root, name, FileType.REGULAR)
             if data:
                 volume.write_data(inode.ino, 0, data)
-        volume.sync()
+        volume.unmount()
         again = Volume.mount(device)
         assert again.fsck() == []
         assert set(again.readdir(again.sb.root_ino)) == set(contents)

@@ -218,8 +218,9 @@ class TestPersistence:
         root = volume.sb.root_ino
         f = volume.create(root, "persist.txt", FileType.REGULAR)
         volume.write_data(f.ino, 0, b"durable" * 100)
-        volume.sync()
+        volume.unmount()
         again = Volume.mount(ram_device)
+        assert again.was_clean
         ino = again.lookup(again.sb.root_ino, "persist.txt")
         assert again.read_data(ino, 0, 7) == b"durable"
         assert again.fsck() == []
