@@ -32,6 +32,12 @@ Headline metrics:
   image-backed persistent volumes (the point of the pluggable
   block-store work): mount time and reads must not grow beyond the
   i-node-table scan, and the clean-unmount flush must stay bounded.
+* ``BENCH_socket.json`` — simulated per-message virtual cost and the
+  real-socket compound-batching frame counts (the point of the
+  transport-seam work).  The gated metrics are deterministic protocol
+  facts — the wall-clock RTT cells in the record are informational
+  only; ``frames_batched`` carries zero tolerance because a compound
+  batch over the wire is exactly one frame or the batching is broken.
 
 Usage (from the repo root)::
 
@@ -100,6 +106,14 @@ HEADLINE = [
      "cells.100k.mount_reads", "lower", None),
     ("BENCH_volume.json", "benchmarks.bench_volume_persist",
      "cells.100k.unmount_writes", "lower", None),
+    ("BENCH_socket.json", "benchmarks.bench_socket_transport",
+     "cells.simulated.per_message_small_us", "lower", None),
+    ("BENCH_socket.json", "benchmarks.bench_socket_transport",
+     "cells.simulated.per_message_page_us", "lower", None),
+    ("BENCH_socket.json", "benchmarks.bench_socket_transport",
+     "cells.batching.frames_individual", "lower", None),
+    ("BENCH_socket.json", "benchmarks.bench_socket_transport",
+     "cells.batching.frames_batched", "lower", 0.0),
 ]
 
 

@@ -14,8 +14,23 @@ from repro.ipc.narrow import narrow, narrow_or_raise
 from repro.ipc.network import Network, NetworkPartitionError
 from repro.ipc.node import Node
 from repro.ipc.object import SpringObject
+from repro.ipc.retry import RetryPolicy
+from repro.ipc.transport import (
+    RemoteStub,
+    ServerThread,
+    SimulatedTransport,
+    SocketServer,
+    SocketTransport,
+    Transport,
+)
 
 __all__ = [
+    "RemoteStub",
+    "ServerThread",
+    "SimulatedTransport",
+    "SocketServer",
+    "SocketTransport",
+    "Transport",
     "CompoundInvocation",
     "CompoundResult",
     "CompoundSubOpError",
@@ -31,5 +46,6 @@ __all__ = [
     "Network",
     "NetworkPartitionError",
     "Node",
+    "RetryPolicy",
     "SpringObject",
 ]

@@ -111,7 +111,7 @@ class CompoundRegion:
         for (src, dst), (nops, nbytes) in self._pairs.items():
             if nops == 0:
                 continue
-            self.world.network.transfer(src, dst, nbytes, checked=False)
+            self.world.network.send(src, dst, nbytes, checked=False)
             counters.inc("compound.batches")
             counters.inc("compound.batched_ops", nops)
             # Round trips the batch avoided relative to one-per-op.
@@ -194,8 +194,10 @@ class CompoundInvocation:
     """
 
     def __init__(
-        self, world, fail_fast: bool = True, retry_policy=None
+        self, world=None, fail_fast: bool = True, retry_policy=None
     ) -> None:
+        #: May be None for batches made purely of socket-transport stub
+        #: operations (a split-process client has no simulated world).
         self.world = world
         self.fail_fast = fail_fast
         #: Per-batch override; None falls back to ``world.retry_policy``
@@ -265,6 +267,53 @@ class CompoundInvocation:
                         outcomes[later] = SKIPPED
                     break
 
+    def _transport_calls(self):
+        """If every queued op is a transport stub operation (see
+        :class:`repro.ipc.transport.StubOperation`) on one shared
+        transport, the batch can ship as a single compound frame —
+        returns ``(transport, wire_calls)``; otherwise None."""
+        transport = None
+        wire_calls = []
+        for label, op, args, kwargs in self._calls:
+            wire_call = getattr(op, "_wire_call", None)
+            if wire_call is None:
+                return None
+            op_transport, target, op_name, _idempotent = wire_call
+            if transport is None:
+                transport = op_transport
+            elif op_transport is not transport:
+                return None
+            wire_calls.append((target, op_name, args, kwargs))
+        if transport is None:
+            return None
+        return transport, wire_calls
+
+    def _commit_via_transport(self, transport, wire_calls) -> CompoundResult:
+        """One compound frame out, per-op outcomes demuxed back — the
+        socket backend's equivalent of the region flush.  Send failures
+        are the transport's to retry (its policy is send-only safe);
+        executed sub-op errors come back demultiplexed, exactly like the
+        simulated path."""
+        from repro.ipc import transport as transport_mod
+
+        outcomes: List[Any] = []
+        raw = transport.invoke_compound(wire_calls, fail_fast=self.fail_fast)
+        for index, (status, value) in enumerate(raw):
+            if status == transport_mod.OK:
+                outcomes.append(value)
+            elif status == transport_mod.ERRORED:
+                outcomes.append(
+                    CompoundSubOpError(index, self._calls[index][0], value)
+                )
+            else:
+                outcomes.append(SKIPPED)
+        if self.world is not None:
+            counters = self.world.counters
+            counters.inc("compound.batches")
+            counters.inc("compound.batched_ops", len(wire_calls))
+            counters.inc("compound.messages_saved", len(wire_calls) - 1)
+        return CompoundResult(outcomes)
+
     def commit(self) -> CompoundResult:
         """Run the batch inside a compound region and demultiplex the
         per-op outcomes.
@@ -274,8 +323,21 @@ class CompoundInvocation:
         aware*: only sub-ops that never executed (the failed send and
         everything fail-fast skipped after it) are re-run; sub-ops whose
         bodies ran, and non-transient failures, surface as before.
+
+        A batch made entirely of transport stub operations (the
+        split-process client) bypasses the region machinery and ships as
+        one compound frame per :meth:`_commit_via_transport`.
         """
-        self.world.counters.inc("compound.commit")
+        if self.world is not None:
+            self.world.counters.inc("compound.commit")
+        via_transport = self._transport_calls()
+        if via_transport is not None:
+            return self._commit_via_transport(*via_transport)
+        if self.world is None:
+            raise InvocationError(
+                "CompoundInvocation without a world can only batch "
+                "transport stub operations"
+            )
         policy = (
             self.retry_policy
             if self.retry_policy is not None

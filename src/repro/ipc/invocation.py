@@ -185,7 +185,9 @@ def operation(fn: F) -> F:
                 path = "network"
                 policy = world.retry_policy
                 if policy is None:
-                    world.network.transfer(
+                    # Through the transport seam: the simulated backend
+                    # delegates straight to Network.transfer.
+                    world.network.send(
                         caller.node, server.node, request_bytes
                     )
                 else:

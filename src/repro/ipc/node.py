@@ -48,6 +48,28 @@ class Node:
         #: with :meth:`install_server_queue` to give the node a finite
         #: service capacity under overlapping load.
         self.server_queue: Optional["ServiceQueue"] = None
+        #: Objects this node exposes to out-of-process clients over a
+        #: real transport (see :meth:`expose` / :meth:`serve`).  Empty —
+        #: and cost-free — unless the node is actually served.
+        self.exports: Dict[str, object] = {}
+
+    # --- out-of-process serving --------------------------------------------
+    def expose(self, name: str, obj: object) -> None:
+        """Publish ``obj`` under ``name`` for transport clients (the
+        wire analogue of binding into the node's name space)."""
+        self.exports[name] = obj
+
+    def serve(self, host: str = "127.0.0.1", port: int = 0):
+        """A :class:`~repro.ipc.transport.SocketServer` over this
+        node's exports — TCP clients in other OS processes invoke them
+        via :class:`~repro.ipc.transport.SocketTransport`.  The caller
+        owns the server lifecycle (``await start()`` or wrap in a
+        :class:`~repro.ipc.transport.ServerThread`)."""
+        from repro.ipc.transport import SocketServer
+
+        return SocketServer(
+            self.exports, name=self.name, host=host, port=port
+        )
 
     # --- service capacity ---------------------------------------------------
     def install_server_queue(self, servers: int = 1) -> "ServiceQueue":

@@ -1,0 +1,609 @@
+"""The transport seam: simulated and real-socket message planes.
+
+The paper's network proxies let the same invocation cross a real machine
+boundary; our :class:`~repro.ipc.network.Network` has so far only
+*simulated* that crossing (virtual-clock costs, no bytes).  This module
+makes the message plane pluggable:
+
+* :class:`Transport` — the seam.  ``send`` is the message-plane surface
+  :class:`~repro.ipc.network.Network` routes through (one request
+  message, sized in bytes); ``invoke`` / ``invoke_compound`` carry the
+  operation surface stubs use, so client code is identical against both
+  backends.
+
+* :class:`SimulatedTransport` — the default, installed by every
+  ``Network``.  ``send`` delegates straight back to
+  :meth:`Network.transfer`, so the simulated world is byte-identical to
+  the pre-seam behaviour; ``invoke`` dispatches directly to exported
+  objects in-process (used by the backend-parity tests and benchmarks).
+
+* :class:`SocketServer` / :class:`SocketTransport` — a real asyncio TCP
+  pair speaking the :mod:`repro.ipc.wire` framing, so a Spring stack can
+  be split across OS processes: the server process exposes objects by
+  name (``node.expose``), the client process binds
+  :class:`RemoteStub`\\ s and invokes them.  Socket failures map onto
+  the same transient-error taxonomy the simulated fault plane uses —
+  connect failures/timeouts become
+  :class:`~repro.ipc.network.NetworkPartitionError`, a connection that
+  dies before the reply becomes
+  :class:`~repro.errors.NodeCrashedError`, and a reply timeout becomes
+  :class:`~repro.errors.MessageDroppedError` — which is exactly what
+  lets :class:`~repro.ipc.retry.RetryPolicy` (send-only retries) and
+  :class:`~repro.ipc.compound.CompoundInvocation` (one frame per batch)
+  work unchanged on both backends.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import (
+    InvocationError,
+    MessageDroppedError,
+    NameNotFoundError,
+    NodeCrashedError,
+    TransientNetworkError,
+)
+from repro.ipc import wire
+from repro.ipc.network import NetworkPartitionError
+
+#: Reserved op the socket transport's ``send`` uses: the server replies
+#: None without touching any export — a pure round trip carrying the
+#: request's payload bytes (the socket analogue of ``Network.transfer``).
+PING_OP = "*ping*"
+
+#: Compound outcome statuses on the transport surface.
+OK, ERRORED, SKIPPED = "ok", "error", "skipped"
+
+
+class ExportRegistry:
+    """Named objects reachable through a transport.
+
+    The server-side half of the operation surface, shared by the
+    simulated and socket backends so both resolve and execute ops —
+    including compound batches — with identical semantics.  Only public
+    methods (no leading underscore) are invokable.
+    """
+
+    def __init__(self, exports: Optional[Dict[str, Any]] = None) -> None:
+        self.exports: Dict[str, Any] = exports if exports is not None else {}
+
+    def expose(self, name: str, obj: Any) -> None:
+        self.exports[name] = obj
+
+    def resolve(self, target: str, op: str):
+        try:
+            obj = self.exports[target]
+        except KeyError:
+            raise NameNotFoundError(f"no export named {target!r}")
+        if op.startswith("_") or op.startswith("*"):
+            raise InvocationError(f"operation name {op!r} is not invokable")
+        method = getattr(obj, op, None)
+        if method is None or not callable(method):
+            raise InvocationError(
+                f"export {target!r} has no operation {op!r}"
+            )
+        return method
+
+    def call(self, target: str, op: str, args: Sequence, kwargs: dict) -> Any:
+        return self.resolve(target, op)(*args, **kwargs)
+
+    def run_compound(
+        self, calls: Sequence[Tuple[str, str, Sequence, dict]],
+        fail_fast: bool = True,
+    ) -> List[Tuple[str, Any]]:
+        """Execute a batch; returns ``(status, value)`` per sub-op where
+        status is OK (value = result), ERRORED (value = exception), or
+        SKIPPED (fail-fast abort; value = None)."""
+        outcomes: List[Tuple[str, Any]] = []
+        failed = False
+        for target, op, args, kwargs in calls:
+            if failed and fail_fast:
+                outcomes.append((SKIPPED, None))
+                continue
+            try:
+                outcomes.append((OK, self.call(target, op, args, kwargs)))
+            except Exception as exc:
+                outcomes.append((ERRORED, exc))
+                failed = True
+        return outcomes
+
+
+class Transport:
+    """Abstract message plane.  See module docstring."""
+
+    def send(self, src, dst, nbytes: int, checked: bool = True) -> None:
+        """Deliver one request message of ``nbytes`` from ``src`` to
+        ``dst`` (node objects or node names, backend-dependent)."""
+        raise NotImplementedError
+
+    def payload(self, src, dst, nbytes: int) -> None:
+        """Additional reply payload riding an already-sent exchange."""
+        raise NotImplementedError
+
+    def invoke(
+        self, target: str, op: str, args: Sequence = (),
+        kwargs: Optional[dict] = None, idempotent: bool = False,
+    ) -> Any:
+        raise NotImplementedError
+
+    def invoke_compound(
+        self, calls: Sequence[Tuple[str, str, Sequence, dict]],
+        fail_fast: bool = True, idempotent: bool = False,
+    ) -> List[Tuple[str, Any]]:
+        raise NotImplementedError
+
+    def bind(self, target: str, idempotent: Iterable[str] = ()) -> "RemoteStub":
+        """A stub whose method calls go through this transport."""
+        return RemoteStub(self, target, idempotent)
+
+    def close(self) -> None:
+        pass
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class SimulatedTransport(Transport):
+    """The in-process backend: costs move, bytes don't.
+
+    ``send``/``payload`` delegate to the owning
+    :class:`~repro.ipc.network.Network`'s transfer/payload accounting —
+    the pre-seam code path, unchanged — while ``invoke`` dispatches
+    directly to exported objects (any simulated invocation costs are
+    charged by the ops themselves, exactly as for a local caller).
+    """
+
+    def __init__(self, network, exports: Optional[Dict[str, Any]] = None,
+                 registry: Optional[ExportRegistry] = None) -> None:
+        self.network = network
+        self.registry = registry or ExportRegistry(exports)
+
+    def send(self, src, dst, nbytes: int, checked: bool = True) -> None:
+        self.network.transfer(src, dst, nbytes, checked=checked)
+
+    def payload(self, src, dst, nbytes: int) -> None:
+        self.network.payload(src, dst, nbytes)
+
+    def invoke(self, target, op, args=(), kwargs=None, idempotent=False):
+        return self.registry.call(target, op, args, kwargs or {})
+
+    def invoke_compound(self, calls, fail_fast=True, idempotent=False):
+        return self.registry.run_compound(calls, fail_fast)
+
+
+# --- real sockets -----------------------------------------------------------
+
+class SocketServer:
+    """Asyncio TCP server hosting an export registry.
+
+    One client connection is one framed request/reply stream; requests
+    on a connection are served in order (a Spring server domain's
+    single-threaded determinism).  ``fail_next_reply`` is the socket
+    analogue of the simulated fault plane's crash injection: the op
+    executes, then the connection drops before the reply — the client
+    observes a mid-invoke server crash.
+    """
+
+    def __init__(
+        self,
+        exports: Optional[Dict[str, Any]] = None,
+        name: str = "server",
+        host: str = "127.0.0.1",
+        port: int = 0,
+        registry: Optional[ExportRegistry] = None,
+    ) -> None:
+        self.registry = registry or ExportRegistry(exports)
+        self.name = name
+        self.host = host
+        self.port = port
+        self.frames_in = 0
+        self.frames_out = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+        self.ops_served = 0
+        self.compound_batches = 0
+        self._fail_next_replies = 0
+        self._shutdown_after_reply = False
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._closed: Optional[asyncio.Event] = None
+
+    # --- fault injection / shutdown ------------------------------------
+    def fail_next_reply(self, count: int = 1) -> None:
+        """Drop the connection instead of replying to the next ``count``
+        requests (after executing them) — a mid-invoke crash."""
+        self._fail_next_replies += count
+
+    def request_shutdown(self) -> None:
+        """Stop serving after the currently executing request's reply is
+        written (safe to call from inside a served operation)."""
+        self._shutdown_after_reply = True
+
+    # --- lifecycle ------------------------------------------------------
+    async def start(self) -> int:
+        self._closed = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def wait_closed(self) -> None:
+        assert self._closed is not None, "start() first"
+        await self._closed.wait()
+        self._server.close()
+        await self._server.wait_closed()
+
+    def stop(self) -> None:
+        if self._closed is not None:
+            self._closed.set()
+
+    # --- the serving loop ----------------------------------------------
+    async def _handle_client(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    msg = await wire.read_message(reader)
+                except (wire.WireError, ConnectionError):
+                    break
+                if msg is None:
+                    break
+                self.frames_in += 1
+                reply = self._reply_for(msg)
+                if self._fail_next_replies > 0:
+                    self._fail_next_replies -= 1
+                    break  # crash: executed, never replied
+                writer.write(reply)
+                await writer.drain()
+                self.frames_out += 1
+                self.bytes_out += len(reply)
+                if self._shutdown_after_reply:
+                    self.stop()
+                    break
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                # The loop may be tearing down (asyncio.run cancels
+                # handler tasks); the connection is closed either way.
+                pass
+
+    def _reply_for(self, msg: wire.Message) -> bytes:
+        self.bytes_in += msg.nbytes
+        if msg.op == PING_OP:
+            return wire.pack_frame(
+                wire.REPLY, msg.seq, self.name, msg.src, msg.op, None
+            )
+        if msg.kind == wire.COMPOUND:
+            self.compound_batches += 1
+            calls = [
+                (c["target"], c["op"], c["args"], c["kwargs"])
+                for c in msg.payload["calls"]
+            ]
+            outcomes = self.registry.run_compound(
+                calls, fail_fast=msg.payload["fail_fast"]
+            )
+            self.ops_served += sum(
+                1 for status, _ in outcomes if status == OK
+            )
+            encoded = [
+                {"status": status, "value": value}
+                for status, value in outcomes
+            ]
+            return wire.pack_frame(
+                wire.COMPOUND_REPLY, msg.seq, self.name, msg.src,
+                msg.op, encoded,
+            )
+        try:
+            value = self.registry.call(
+                msg.payload["target"], msg.op,
+                msg.payload["args"], msg.payload["kwargs"],
+            )
+            self.ops_served += 1
+            kind = wire.REPLY
+        except Exception as exc:
+            value = exc
+            kind = wire.ERROR
+        try:
+            return wire.pack_frame(
+                kind, msg.seq, self.name, msg.src, msg.op, value
+            )
+        except wire.WireEncodeError as exc:
+            # The op returned something outside the wire type system;
+            # surface that as the error rather than killing the stream.
+            return wire.pack_frame(
+                wire.ERROR, msg.seq, self.name, msg.src, msg.op, exc
+            )
+
+
+class ServerThread:
+    """Run a :class:`SocketServer` on a private event loop in a daemon
+    thread — the in-process harness tests and benchmarks use; a real
+    deployment runs the loop in its own OS process (``repro.serve``)."""
+
+    def __init__(self, server: SocketServer) -> None:
+        self.server = server
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-socket-server", daemon=True
+        )
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # startup failures surface in start()
+            self._startup_error = exc
+            self._started.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        try:
+            await self.server.start()
+        finally:
+            self._started.set()
+        await self.server.wait_closed()
+
+    def start(self) -> int:
+        """Start serving; returns the bound port."""
+        self._thread.start()
+        if not self._started.wait(timeout=10):
+            raise RuntimeError("socket server failed to start in time")
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self.server.port
+
+    def stop(self, timeout: float = 5.0) -> None:
+        if self._loop is not None and self._loop.is_running():
+            self._loop.call_soon_threadsafe(self.server.stop)
+        self._thread.join(timeout=timeout)
+
+
+class SocketTransport(Transport):
+    """Client half of the real-socket backend.
+
+    Synchronous facade over an asyncio TCP connection: each ``invoke``
+    writes one request frame and blocks for the matching reply.  The
+    connection is established lazily and re-established after any
+    failure, so a healed server is reachable again on the next call.
+
+    Retry semantics mirror :func:`repro.ipc.retry.retry_send`: with a
+    :class:`~repro.ipc.retry.RetryPolicy` installed, *send-phase*
+    failures (connect refused/timed out, request write failed — the
+    server never saw the op) back off and retry; a failure while waiting
+    for the reply means the op may have executed, so it is retried only
+    for ops declared idempotent.  Backoff here is wall-clock — there is
+    no virtual clock spanning two processes.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        src: str = "client",
+        dst: str = "server",
+        connect_timeout_s: float = 5.0,
+        reply_timeout_s: float = 30.0,
+        retry_policy=None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.src = src
+        self.dst = dst
+        self.connect_timeout_s = connect_timeout_s
+        self.reply_timeout_s = reply_timeout_s
+        self.retry_policy = retry_policy
+        self.messages = 0
+        self.bytes_out = 0
+        self.bytes_in = 0
+        self.retries = 0
+        self.reconnects = 0
+        self._seq = 0
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._loop = asyncio.new_event_loop()
+
+    # --- connection management ------------------------------------------
+    def _disconnect(self) -> None:
+        if self._writer is not None:
+            try:
+                self._writer.close()
+            except Exception:
+                pass
+        self._reader = self._writer = None
+
+    def close(self) -> None:
+        self._disconnect()
+        if not self._loop.is_closed():
+            # Let transport close callbacks run before the loop dies.
+            self._loop.run_until_complete(asyncio.sleep(0))
+            self._loop.close()
+
+    async def _ensure_connected(self) -> None:
+        if self._writer is not None:
+            return
+        try:
+            self._reader, self._writer = await asyncio.wait_for(
+                asyncio.open_connection(self.host, self.port),
+                timeout=self.connect_timeout_s,
+            )
+        except (asyncio.TimeoutError, OSError) as exc:
+            raise _send_phase(NetworkPartitionError(
+                f"connect to {self.host}:{self.port} failed: "
+                f"{type(exc).__name__}: {exc}"
+            )) from exc
+        self.reconnects += 1
+
+    async def _exchange(self, kind: int, op: str, payload: Any) -> wire.Message:
+        """One request frame out, one reply frame in.  Raises transient
+        errors tagged with whether the failure was send-phase."""
+        await self._ensure_connected()
+        self._seq += 1
+        seq = self._seq
+        frame = wire.pack_frame(kind, seq, self.src, self.dst, op, payload)
+        try:
+            self._writer.write(frame)
+            await self._writer.drain()
+        except (asyncio.TimeoutError, OSError) as exc:
+            self._disconnect()
+            raise _send_phase(NodeCrashedError(
+                f"request write to {self.dst!r} failed: {exc}"
+            )) from exc
+        self.messages += 1
+        self.bytes_out += len(frame)
+        try:
+            msg = await asyncio.wait_for(
+                wire.read_message(self._reader), timeout=self.reply_timeout_s
+            )
+        except asyncio.TimeoutError as exc:
+            self._disconnect()
+            raise MessageDroppedError(
+                f"no reply from {self.dst!r} within "
+                f"{self.reply_timeout_s}s (op {op!r})"
+            ) from exc
+        except (wire.WireError, OSError) as exc:
+            self._disconnect()
+            raise NodeCrashedError(
+                f"connection to {self.dst!r} died awaiting reply: {exc}"
+            ) from exc
+        if msg is None:
+            self._disconnect()
+            raise NodeCrashedError(
+                f"server {self.dst!r} closed the connection mid-invoke "
+                f"(op {op!r})"
+            )
+        if msg.seq != seq:
+            self._disconnect()
+            raise wire.WireError(
+                f"reply seq {msg.seq} does not match request seq {seq}"
+            )
+        self.bytes_in += msg.nbytes
+        return msg
+
+    def _call(self, kind: int, op: str, payload: Any,
+              idempotent: bool) -> wire.Message:
+        """Run one exchange with send-only (or idempotent) retries."""
+        policy = self.retry_policy
+        attempt = 0
+        waited_us = 0.0
+        while True:
+            try:
+                return self._loop.run_until_complete(
+                    self._exchange(kind, op, payload)
+                )
+            except TransientNetworkError as exc:
+                send_phase = getattr(exc, "_send_phase", False)
+                if (
+                    policy is None
+                    or not (send_phase or idempotent)
+                    or not policy.should_retry(attempt, waited_us, exc)
+                ):
+                    raise
+                backoff = policy.backoff_us(attempt)
+                time.sleep(backoff / 1e6)
+                waited_us += backoff
+                attempt += 1
+                self.retries += 1
+
+    # --- Transport surface ----------------------------------------------
+    def send(self, src, dst, nbytes: int, checked: bool = True) -> None:
+        """One real round trip carrying ``nbytes`` of payload — the
+        socket analogue of :meth:`Network.transfer` (src/dst are fixed
+        by the connection; the arguments are accepted for surface
+        compatibility)."""
+        self._call(wire.REQUEST, PING_OP, b"\x00" * nbytes, idempotent=True)
+
+    def payload(self, src, dst, nbytes: int) -> None:
+        """Reply payloads ride the real reply frames; nothing to do."""
+
+    def invoke(self, target, op, args=(), kwargs=None, idempotent=False):
+        msg = self._call(
+            wire.REQUEST, op,
+            {"target": target, "args": list(args), "kwargs": kwargs or {}},
+            idempotent,
+        )
+        if msg.kind == wire.ERROR:
+            raise msg.payload
+        return msg.payload
+
+    def invoke_compound(self, calls, fail_fast=True, idempotent=False):
+        payload = {
+            "fail_fast": fail_fast,
+            "calls": [
+                {"target": target, "op": op, "args": list(args),
+                 "kwargs": kwargs or {}}
+                for target, op, args, kwargs in calls
+            ],
+        }
+        msg = self._call(wire.COMPOUND, wire.COMPOUND_OP, payload, idempotent)
+        if msg.kind == wire.ERROR:
+            raise msg.payload
+        return [(entry["status"], entry["value"]) for entry in msg.payload]
+
+    def describe(self) -> str:
+        return f"SocketTransport({self.host}:{self.port})"
+
+
+def _send_phase(exc: TransientNetworkError) -> TransientNetworkError:
+    """Tag a transport error as send-phase: the server never saw the
+    request, so resending cannot double-execute anything."""
+    exc._send_phase = True
+    return exc
+
+
+class RemoteStub:
+    """Client-side handle to one exported object.
+
+    Attribute access yields bound, batchable operations::
+
+        fs = transport.bind("fs", idempotent=("stat", "pread"))
+        fs.mkdir("logs")                 # one frame (or direct call)
+        batch = CompoundInvocation(None)
+        batch.add(fs.stat, "logs")       # queued ...
+        batch.commit()                   # ... one compound frame
+    """
+
+    def __init__(self, transport: Transport, target: str,
+                 idempotent: Iterable[str] = ()) -> None:
+        self._transport = transport
+        self._target = target
+        self._idempotent = frozenset(idempotent)
+
+    def __getattr__(self, op: str) -> "StubOperation":
+        if op.startswith("_"):
+            raise AttributeError(op)
+        return StubOperation(self, op)
+
+    def __repr__(self) -> str:
+        return (
+            f"<RemoteStub {self._target!r} via {self._transport.describe()}>"
+        )
+
+
+class StubOperation:
+    """One bound stub operation — callable, and recognised by
+    :class:`~repro.ipc.compound.CompoundInvocation` for batching."""
+
+    __slots__ = ("_stub", "_op", "__name__")
+
+    def __init__(self, stub: RemoteStub, op: str) -> None:
+        self._stub = stub
+        self._op = op
+        self.__name__ = op
+
+    @property
+    def _wire_call(self) -> Tuple[Transport, str, str, bool]:
+        stub = self._stub
+        return (
+            stub._transport, stub._target, self._op,
+            self._op in stub._idempotent,
+        )
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        transport, target, op, idempotent = self._wire_call
+        return transport.invoke(target, op, args, kwargs, idempotent)
